@@ -1,0 +1,52 @@
+// Command calibrate re-fits the per-node device and variation parameters
+// against the paper's anchor values (internal/tech/anchors.go) and prints
+// both a fit report and ready-to-paste Go literals for internal/tech.
+//
+// Usage:
+//
+//	calibrate [-node 90nm|45nm|32nm|22nm]
+//
+// Without -node, all four technology nodes are fitted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func main() {
+	node := flag.String("node", "", "fit a single node (90nm, 45nm, 32nm, 22nm); default all")
+	flag.Parse()
+
+	targets := tech.AllTargets()
+	if *node != "" {
+		var found []tech.CalibTargets
+		for _, t := range targets {
+			n, err := tech.ByName(t.NodeName)
+			if err != nil {
+				continue
+			}
+			if fmt.Sprintf("%dnm", n.Feature) == *node || t.NodeName == *node {
+				found = append(found, t)
+			}
+		}
+		if len(found) == 0 {
+			fmt.Fprintf(os.Stderr, "calibrate: unknown node %q\n", *node)
+			os.Exit(2)
+		}
+		targets = found
+	}
+
+	for _, t := range targets {
+		res := tech.Fit(t)
+		fmt.Print(res)
+		fmt.Printf("  Go literal:\n")
+		fmt.Printf("    Dev: device.Params{Vth0: %.6f, N: %.6f, Kd: %.6e, DIBL: <keep>, IleakK: <keep>},\n",
+			res.Dev.Vth0, res.Dev.N, res.Dev.Kd)
+		fmt.Printf("    Var: device.Variation{SigmaVthWID: %.6f, SigmaVthD2D: %.6f, SigmaMulWID: %.6f, SigmaMulD2D: %.6f},\n\n",
+			res.Var.SigmaVthWID, res.Var.SigmaVthD2D, res.Var.SigmaMulWID, res.Var.SigmaMulD2D)
+	}
+}

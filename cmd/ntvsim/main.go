@@ -1,0 +1,100 @@
+// Command ntvsim regenerates the tables and figures of "Process
+// Variation in Near-Threshold Wide SIMD Architectures" (DAC 2012) from
+// the Go reimplementation of the study.
+//
+// Usage:
+//
+//	ntvsim [-seed N] [-quick] [-list] [-o dir] [experiment ...]
+//
+// Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12
+// table1 table2 table3 table4 ks synctium, the extensions ablation
+// corners itd yield, or "all" (the default).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "Monte-Carlo seed (0: paper default)")
+	quick := flag.Bool("quick", false, "reduced sample counts (fast, noisier)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outDir := flag.String("o", "", "also write <id>.txt (and <id>.csv where available) into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = experiments.IDs()
+	}
+
+	exitCode := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntvsim: %s: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), res.Render())
+		if *outDir != "" {
+			if err := writeArtifacts(*outDir, id, res); err != nil {
+				fmt.Fprintf(os.Stderr, "ntvsim: %s: %v\n", id, err)
+				exitCode = 1
+			}
+		}
+	}
+	os.Exit(exitCode)
+}
+
+// writeArtifacts stores the rendered text and, when the result supports
+// it, a CSV of the underlying series.
+func writeArtifacts(dir, id string, res experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".txt"), []byte(res.Render()), 0o644); err != nil {
+		return err
+	}
+	c, ok := res.(experiments.CSVer)
+	if !ok {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(c.CSV()); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

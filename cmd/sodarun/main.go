@@ -1,0 +1,172 @@
+// Command sodarun executes a signal-processing kernel on the Diet SODA
+// processing-element simulator, optionally injecting variation-induced
+// timing errors with a chosen recovery policy, and prints execution
+// statistics.
+//
+// Usage:
+//
+//	sodarun [-kernel fir|dot|ycbcr|colsum|scale|fft|stridedsum] [-errp P]
+//	        [-policy stall|flush|decoupled] [-ratio N] [-seed N]
+//	sodarun -prog file.s [-dump row]
+//
+// -ratio sets T_simd/T_mem, the integer clock ratio between the
+// near-threshold SIMD domain and the full-voltage memory domain.
+// -prog assembles and runs a raw program (see soda.Assemble for the
+// syntax) instead of a built-in kernel; -dump prints a memory row
+// afterwards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/soda"
+	"github.com/ntvsim/ntvsim/internal/timingerr"
+)
+
+func buildKernel(name string, r *rng.Stream) (soda.Kernel, error) {
+	vec := func(n int) []uint16 {
+		out := make([]uint16, n)
+		for i := range out {
+			out[i] = uint16(r.IntN(1 << 12))
+		}
+		return out
+	}
+	switch name {
+	case "fft":
+		re := make([]int16, soda.Lanes)
+		im := make([]int16, soda.Lanes)
+		for i := range re {
+			re[i] = int16(r.IntN(7) - 3)
+			im[i] = int16(r.IntN(7) - 3)
+		}
+		return soda.FFTKernel(re, im), nil
+	case "stridedsum":
+		return soda.StridedSumKernel(vec(4*soda.Lanes), 4, 2), nil
+	case "fir":
+		return soda.FIRKernel(vec(soda.Lanes), []int16{3, -1, 4, 1, -5, 9, 2, -6}), nil
+	case "dot":
+		return soda.DotProductKernel(vec(16*soda.Lanes), vec(16*soda.Lanes)), nil
+	case "ycbcr":
+		return soda.RGBToYCbCrKernel(vec(soda.Lanes), vec(soda.Lanes), vec(soda.Lanes)), nil
+	case "colsum":
+		return soda.ColumnSumKernel(vec(32*soda.Lanes), 32, 64), nil
+	case "scale":
+		return soda.ScaleAddKernel(vec(soda.Lanes), vec(soda.Lanes), 17), nil
+	default:
+		return soda.Kernel{}, fmt.Errorf("unknown kernel %q (want fir, dot, ycbcr, colsum, scale, fft, stridedsum)", name)
+	}
+}
+
+func main() {
+	kernelName := flag.String("kernel", "fir", "kernel to run: fir, dot, ycbcr, colsum, scale, fft, stridedsum")
+	progFile := flag.String("prog", "", "assemble and run this program file instead of a kernel")
+	dumpRow := flag.Int("dump", -1, "with -prog: print this memory row after the run")
+	errP := flag.Float64("errp", 0, "per-lane per-op timing-error probability")
+	policy := flag.String("policy", "stall", "error recovery policy: stall, flush, decoupled")
+	ratio := flag.Int("ratio", 1, "SIMD/memory clock ratio (T_simd = ratio × T_mem)")
+	pipeDepth := flag.Int("pipe", 0, "model an N-stage SIMD pipeline with RAW hazard stalls (0: off)")
+	forward := flag.Int("forward", -1, "pipeline forwarding stage (-1: full forwarding)")
+	trace := flag.Bool("trace", false, "print one line per executed instruction")
+	seed := flag.Uint64("seed", 1, "input-data and error-injection seed")
+	flag.Parse()
+
+	r := rng.New(*seed)
+
+	var kernel soda.Kernel
+	if *progFile != "" {
+		src, err := os.ReadFile(*progFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sodarun: %v\n", err)
+			os.Exit(2)
+		}
+		prog, err := soda.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sodarun: %v\n", err)
+			os.Exit(2)
+		}
+		kernel = soda.Kernel{
+			Name:    *progFile,
+			Program: prog,
+			Setup:   func(*soda.PE) error { return nil },
+			Check:   func(*soda.PE) error { return nil },
+		}
+	} else {
+		k, err := buildKernel(*kernelName, r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sodarun: %v\n", err)
+			os.Exit(2)
+		}
+		kernel = k
+	}
+
+	pe := soda.NewPE()
+	pe.Clock = soda.ClockConfig{MemLatency: 2, ClockRatio: *ratio}
+	if *pipeDepth > 0 {
+		pipe := soda.NewPipeline(*pipeDepth)
+		if *forward >= 0 {
+			pipe.ForwardStage = *forward
+		}
+		if err := pipe.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "sodarun: %v\n", err)
+			os.Exit(2)
+		}
+		pe.Pipe = pipe
+	}
+	if *trace {
+		pe.Trace = os.Stdout
+	}
+	if *errP > 0 {
+		switch *policy {
+		case "stall":
+			pe.Err = timingerr.Stall{Lanes: soda.Lanes, P: *errP}
+		case "flush":
+			pe.Err = timingerr.FlushReplay{Lanes: soda.Lanes, P: *errP, Depth: 8}
+		case "decoupled":
+			pe.Err = timingerr.NewDecoupled(soda.Lanes, *errP, 2)
+		default:
+			fmt.Fprintf(os.Stderr, "sodarun: unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+		pe.Rand = r.Split(1)
+	}
+
+	if err := soda.RunKernel(pe, kernel); err != nil {
+		fmt.Fprintf(os.Stderr, "sodarun: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *progFile != "" && *dumpRow >= 0 {
+		row := make([]uint16, soda.Lanes)
+		if err := pe.Mem.ReadRow(*dumpRow, row); err != nil {
+			fmt.Fprintf(os.Stderr, "sodarun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("row %d: %v\n", *dumpRow, row)
+	}
+
+	s := pe.Stats
+	verified := " (output verified against golden model)"
+	if *progFile != "" {
+		verified = ""
+	}
+	fmt.Printf("kernel %s: PASS%s\n", kernel.Name, verified)
+	fmt.Printf("  cycles        %8d\n", s.Cycles)
+	fmt.Printf("  instructions  %8d (IPC %.3f)\n", s.Instructions, s.IPC())
+	fmt.Printf("  vector ops    %8d\n", s.VectorOps)
+	fmt.Printf("  scalar ops    %8d\n", s.ScalarOps)
+	fmt.Printf("  mem row ops   %8d (gather rows %d)\n", s.MemRowOps, s.GatherRows)
+	fmt.Printf("  SSN routes    %8d\n", s.SSNRoutes)
+	fmt.Printf("  adder tree    %8d\n", s.TreeOps)
+	if pe.Pipe != nil {
+		fmt.Printf("  hazard stalls %8d (depth %d, forward %d)\n",
+			s.HazardStall, pe.Pipe.Depth, pe.Pipe.ForwardStage)
+	}
+	if pe.Err != nil {
+		fmt.Printf("  policy %v: %d lane errors, %d recovery cycles (%.1f%% overhead)\n",
+			pe.Err, s.TimingErrors, s.RecoveryStall,
+			100*float64(s.RecoveryStall)/float64(s.Cycles-s.RecoveryStall))
+	}
+}

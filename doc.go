@@ -1,0 +1,13 @@
+// Package ntvsim reproduces "Process Variation in Near-Threshold Wide
+// SIMD Architectures" (Seo et al., DAC 2012) as a production-quality Go
+// library: calibrated device and variation models, a deterministic
+// Monte-Carlo engine, the 128-wide Diet SODA architecture study, the
+// three variation-tolerance techniques, and a benchmark harness
+// regenerating every table and figure of the paper's evaluation.
+//
+// The root package holds only the per-artifact benchmark harness
+// (bench_test.go); the implementation lives under internal/ and the
+// runnable tools under cmd/ and examples/. Start with README.md,
+// DESIGN.md (system inventory, modeling decisions, per-experiment
+// index) and EXPERIMENTS.md (paper-vs-measured for every artifact).
+package ntvsim

@@ -1,0 +1,3 @@
+module github.com/ntvsim/ntvsim
+
+go 1.22

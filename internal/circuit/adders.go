@@ -1,0 +1,134 @@
+package circuit
+
+// Adder construction. These graphs validate the paper's critical-path
+// emulation choice: §3.1 notes that Drego et al. [7] measured only
+// 8.4 % delay variation at 0.5 V for a 64-bit Kogge-Stone adder, close
+// to the 50-FO4-chain value (9.43 %), because a real datapath block both
+// averages variation along its logic depth and takes the max over many
+// near-critical parallel paths.
+
+// KoggeStone builds a width-bit Kogge-Stone prefix adder as a timing
+// graph. Structure per bit position i:
+//
+//   - a propagate/generate cell (1 gate level),
+//   - log2(width) levels of prefix merge cells, each combining the
+//     (G, P) pair at i with the pair at i − 2^level (2 gate levels:
+//     AND followed by AND-OR),
+//   - a final sum XOR (1 gate level).
+//
+// width must be a power of two and ≥ 2.
+func KoggeStone(width int) *Graph {
+	if width < 2 || width&(width-1) != 0 {
+		panic("circuit: KoggeStone width must be a power of two ≥ 2")
+	}
+	g := NewGraph()
+
+	// Level 0: propagate/generate per bit.
+	cur := make([]int, width)
+	for i := 0; i < width; i++ {
+		cur[i] = g.AddGate(1)
+	}
+	// Prefix levels.
+	for span := 1; span < width; span *= 2 {
+		next := make([]int, width)
+		for i := 0; i < width; i++ {
+			if i >= span {
+				// Merge cell: two gate levels, fed by this bit's pair
+				// and the pair span positions below.
+				next[i] = g.AddGate(2, cur[i], cur[i-span])
+			} else {
+				// Pass-through (wire) keeps indices aligned.
+				next[i] = g.AddGate(0, cur[i])
+			}
+		}
+		cur = next
+	}
+	// Sum XOR per bit: carry-in comes from the prefix output one
+	// position below.
+	for i := 0; i < width; i++ {
+		if i == 0 {
+			g.AddGate(1, cur[i])
+		} else {
+			g.AddGate(1, cur[i], cur[i-1])
+		}
+	}
+	return g
+}
+
+// RippleCarry builds a width-bit ripple-carry adder: a single serial
+// carry chain of 2 gate levels per bit plus the sum XOR. Its critical
+// path is long and essentially unique, so — unlike the Kogge-Stone — it
+// behaves like a pure chain: useful as the contrasting baseline in the
+// chain-emulation validation tests.
+func RippleCarry(width int) *Graph {
+	if width < 1 {
+		panic("circuit: RippleCarry width must be ≥ 1")
+	}
+	g := NewGraph()
+	carry := g.AddGate(1) // carry-in / bit-0 generate
+	for i := 0; i < width; i++ {
+		carry = g.AddGate(2, carry) // majority carry cell
+		g.AddGate(1, carry)         // sum XOR off the chain
+	}
+	return g
+}
+
+// ArrayMultiplier builds a width×width array multiplier as a timing
+// graph: a partial-product AND plane feeding a carry-save adder array
+// (one full-adder row per partial product, 2 gate levels per cell) and
+// a final ripple carry-propagate row. Its critical path is long
+// (≈ 2·(2·width) gates) but, unlike the ripple adder, thousands of
+// near-critical paths run in parallel — the structure of the SIMD FUs'
+// MULT unit, used to sanity-check the chain emulation for multiply-
+// dominated datapaths.
+func ArrayMultiplier(width int) *Graph {
+	if width < 2 {
+		panic("circuit: ArrayMultiplier width must be ≥ 2")
+	}
+	g := NewGraph()
+	// Partial-product bits: one AND gate each.
+	pp := make([][]int, width)
+	for i := range pp {
+		pp[i] = make([]int, width)
+		for j := range pp[i] {
+			pp[i][j] = g.AddGate(1)
+		}
+	}
+	// Carry-save rows: row i reduces pp row i into running sum/carry.
+	sum := append([]int(nil), pp[0]...)
+	carry := make([]int, width) // -1 semantics via presence check
+	for i := range carry {
+		carry[i] = -1
+	}
+	for i := 1; i < width; i++ {
+		newSum := make([]int, width)
+		newCarry := make([]int, width)
+		for j := 0; j < width; j++ {
+			fanin := []int{sum[j], pp[i][j]}
+			if carry[j] >= 0 {
+				fanin = append(fanin, carry[j])
+			}
+			// Full adder: 2 gate levels for both sum and carry outs.
+			newSum[j] = g.AddGate(2, fanin...)
+			newCarry[j] = g.AddGate(2, fanin...)
+		}
+		// Carries shift one position left for the next row.
+		sum = newSum
+		carry = make([]int, width)
+		carry[0] = -1
+		copy(carry[1:], newCarry[:width-1])
+	}
+	// Final carry-propagate row: ripple through the carry-save outputs.
+	last := -1
+	for j := 0; j < width; j++ {
+		fanin := []int{sum[j]}
+		if carry[j] >= 0 {
+			fanin = append(fanin, carry[j])
+		}
+		if last >= 0 {
+			fanin = append(fanin, last)
+		}
+		last = g.AddGate(2, fanin...)
+	}
+	return g
+}

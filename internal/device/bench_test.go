@@ -1,0 +1,28 @@
+package device
+
+import "testing"
+
+func BenchmarkDelay(b *testing.B) {
+	p := testParams()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Delay(0.55, 0.35)
+	}
+	_ = sink
+}
+
+func BenchmarkGateMoments(b *testing.B) {
+	p := testParams()
+	v := testVariation()
+	for i := 0; i < b.N; i++ {
+		GateMoments(p, v, 0.55)
+	}
+}
+
+func BenchmarkChainConditionalMoments(b *testing.B) {
+	p := testParams()
+	v := testVariation()
+	for i := 0; i < b.N; i++ {
+		ChainConditionalMoments(p, v, 0.55, 50, 0.002)
+	}
+}

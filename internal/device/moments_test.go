@@ -1,0 +1,158 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func testVariation() Variation {
+	return Variation{
+		SigmaVthWID: 0.012, SigmaVthD2D: 0.004,
+		SigmaMulWID: 0.03, SigmaMulD2D: 0.012,
+	}
+}
+
+func TestVariationValidate(t *testing.T) {
+	if err := testVariation().Validate(); err != nil {
+		t.Errorf("valid variation rejected: %v", err)
+	}
+	bad := Variation{SigmaVthWID: -0.1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	bad = Variation{SigmaMulD2D: math.NaN()}
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN sigma accepted")
+	}
+}
+
+// mcGate estimates gate-delay moments by brute-force Monte Carlo,
+// independently of the quadrature implementation under test.
+func mcGate(p Params, v Variation, vdd float64, n int) (mean, variance float64) {
+	r := rng.New(12345)
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		d2d := r.Gauss(0, v.SigmaVthD2D)
+		mulD := math.Exp(r.Gauss(0, v.SigmaMulD2D))
+		wid := r.Gauss(0, v.SigmaVthWID)
+		mulW := math.Exp(r.Gauss(0, v.SigmaMulWID))
+		d := p.Delay(vdd, p.Vth0+d2d+wid) * mulD * mulW
+		sum += d
+		sum2 += d * d
+	}
+	mean = sum / float64(n)
+	variance = sum2/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestGateMomentsAgainstMC(t *testing.T) {
+	p := testParams()
+	v := testVariation()
+	for _, vdd := range []float64{0.5, 0.7, 1.0} {
+		qm, qv := GateMoments(p, v, vdd)
+		mm, mv := mcGate(p, v, vdd, 400000)
+		if math.Abs(qm-mm)/mm > 0.01 {
+			t.Errorf("vdd=%v mean: quad %v vs MC %v", vdd, qm, mm)
+		}
+		if math.Abs(math.Sqrt(qv)-math.Sqrt(mv))/math.Sqrt(mv) > 0.03 {
+			t.Errorf("vdd=%v sd: quad %v vs MC %v", vdd, math.Sqrt(qv), math.Sqrt(mv))
+		}
+	}
+}
+
+func TestChainMomentsAgainstMC(t *testing.T) {
+	p := testParams()
+	v := testVariation()
+	const nGates = 20
+	const vdd = 0.55
+	r := rng.New(999)
+	const n = 60000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		d2d := r.Gauss(0, v.SigmaVthD2D)
+		mulD := math.Exp(r.Gauss(0, v.SigmaMulD2D))
+		var chain float64
+		for g := 0; g < nGates; g++ {
+			wid := r.Gauss(0, v.SigmaVthWID)
+			mulW := math.Exp(r.Gauss(0, v.SigmaMulWID))
+			chain += p.Delay(vdd, p.Vth0+d2d+wid) * mulW
+		}
+		chain *= mulD
+		sum += chain
+		sum2 += chain * chain
+	}
+	mm := sum / n
+	mv := sum2/n - mm*mm
+	qm, qv := ChainMoments(p, v, vdd, nGates)
+	if math.Abs(qm-mm)/mm > 0.01 {
+		t.Errorf("chain mean: quad %v vs MC %v", qm, mm)
+	}
+	if math.Abs(math.Sqrt(qv)-math.Sqrt(mv))/math.Sqrt(mv) > 0.05 {
+		t.Errorf("chain sd: quad %v vs MC %v", math.Sqrt(qv), math.Sqrt(mv))
+	}
+}
+
+func TestChainAveragingReducesVariation(t *testing.T) {
+	p := testParams()
+	v := testVariation()
+	gm, gv := GateMoments(p, v, 0.5)
+	cm, cv := ChainMoments(p, v, 0.5, 50)
+	gate3s := ThreeSigmaOverMu(gm, gv)
+	chain3s := ThreeSigmaOverMu(cm, cv)
+	if chain3s >= gate3s {
+		t.Errorf("chain 3σ/μ %v should be below gate %v", chain3s, gate3s)
+	}
+	// With D2D correlation the reduction must be weaker than pure √N.
+	if chain3s <= gate3s/math.Sqrt(50) {
+		t.Errorf("chain 3σ/μ %v below iid bound %v: D2D correlation missing",
+			chain3s, gate3s/math.Sqrt(50))
+	}
+}
+
+func TestChainMeanScalesLinearly(t *testing.T) {
+	p := testParams()
+	v := testVariation()
+	m10, _ := ChainMoments(p, v, 0.6, 10)
+	m50, _ := ChainMoments(p, v, 0.6, 50)
+	if math.Abs(m50/m10-5) > 0.01 {
+		t.Errorf("chain mean should scale ∝ N: %v vs %v", m50, m10)
+	}
+}
+
+func TestVariationIncreasesAtLowVdd(t *testing.T) {
+	p := testParams()
+	v := testVariation()
+	var prev float64
+	for _, vdd := range []float64{1.0, 0.8, 0.6, 0.5, 0.45} {
+		gm, gv := GateMoments(p, v, vdd)
+		cur := ThreeSigmaOverMu(gm, gv)
+		if cur <= prev {
+			t.Fatalf("3σ/μ must grow as Vdd drops: %v at %v after %v", cur, vdd, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestZeroVariationDegenerates(t *testing.T) {
+	p := testParams()
+	var v Variation
+	m, vr := GateMoments(p, v, 0.7)
+	if math.Abs(m-p.NominalDelay(0.7))/m > 1e-9 {
+		t.Errorf("zero-variation mean %v, want nominal %v", m, p.NominalDelay(0.7))
+	}
+	if vr > 1e-30 {
+		t.Errorf("zero-variation variance %v", vr)
+	}
+}
+
+func TestConditionalMomentsShiftWithDie(t *testing.T) {
+	p := testParams()
+	v := testVariation()
+	mSlow, _ := ChainConditionalMoments(p, v, 0.5, 50, +0.02)
+	mFast, _ := ChainConditionalMoments(p, v, 0.5, 50, -0.02)
+	if mSlow <= mFast {
+		t.Error("higher die Vth must give slower chain")
+	}
+}

@@ -1,0 +1,125 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Temperature extension. Near-threshold circuits exhibit *inverse
+// temperature dependence* (ITD): heating a super-threshold circuit slows
+// it down (mobility degradation dominates), but heating a near/sub-
+// threshold circuit speeds it up — the thermally lowered V_th and larger
+// thermal voltage raise the on-current faster than mobility falls. The
+// supply voltage where the two effects cancel is the temperature-
+// insensitive point, a first-order design concern for NTV parts that
+// the base study (fixed 300 K) abstracts away.
+//
+// Model:
+//
+//	φt(T)   = φt(300 K) · T/300
+//	V_th(T) = V_th0 − κ_vt · (T − 300)
+//	drive(T) ∝ (T/300)^−1.5        (mobility ∝ T^−1.5)
+
+// RoomTempK is the reference temperature of all calibrated parameters.
+const RoomTempK = 300.0
+
+// VthTempCoeff is the threshold-voltage temperature coefficient κ_vt in
+// V/K (≈ −0.9 mV/K of V_th per kelvin of heating, a typical bulk-CMOS
+// value).
+const VthTempCoeff = 0.9e-3
+
+// mobilityExponent sets drive ∝ (T/300)^−mobilityExponent.
+const mobilityExponent = 1.5
+
+// validTemp bounds the model to its fitted range.
+func validTemp(tempK float64) error {
+	if tempK < 200 || tempK > 450 {
+		return fmt.Errorf("device: temperature %g K outside model range [200, 450]", tempK)
+	}
+	return nil
+}
+
+// DelayAtTemp returns the nominal gate delay at supply vdd and
+// temperature tempK, folding the threshold shift, thermal-voltage
+// change and mobility degradation into the transregional model. At
+// tempK = 300 it equals NominalDelay.
+func (p Params) DelayAtTemp(vdd, tempK float64) (float64, error) {
+	if err := validTemp(tempK); err != nil {
+		return 0, err
+	}
+	phiT := PhiT * tempK / RoomTempK
+	vth := p.Vth0 - VthTempCoeff*(tempK-RoomTempK)
+	l := log1pExp((vdd - vth) / (2 * p.N * phiT))
+	ion := l * l * math.Pow(tempK/RoomTempK, -mobilityExponent)
+	return p.Kd * vdd / ion, nil
+}
+
+// TempSensitivity returns the relative delay change per kelvin,
+// (1/τ)·dτ/dT, at supply vdd around tempK (central finite difference).
+// Positive values mean heating slows the gate (super-threshold
+// behaviour); negative values are the near/sub-threshold ITD regime.
+func (p Params) TempSensitivity(vdd, tempK float64) (float64, error) {
+	const h = 0.5 // K
+	lo, err := p.DelayAtTemp(vdd, tempK-h)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := p.DelayAtTemp(vdd, tempK+h)
+	if err != nil {
+		return 0, err
+	}
+	mid, err := p.DelayAtTemp(vdd, tempK)
+	if err != nil {
+		return 0, err
+	}
+	return (hi - lo) / (2 * h * mid), nil
+}
+
+// TempInversionPoint locates the temperature-insensitive supply voltage:
+// the Vdd where delay is equal at coldK and hotK (below it, heating
+// speeds the gate up; above it, heating slows it down). It returns an
+// error if no crossover exists in [vLo, vHi].
+func (p Params) TempInversionPoint(vLo, vHi, coldK, hotK float64) (float64, error) {
+	if err := validTemp(coldK); err != nil {
+		return 0, err
+	}
+	if err := validTemp(hotK); err != nil {
+		return 0, err
+	}
+	diff := func(v float64) (float64, error) {
+		hot, err := p.DelayAtTemp(v, hotK)
+		if err != nil {
+			return 0, err
+		}
+		cold, err := p.DelayAtTemp(v, coldK)
+		if err != nil {
+			return 0, err
+		}
+		return hot - cold, nil
+	}
+	fLo, err := diff(vLo)
+	if err != nil {
+		return 0, err
+	}
+	fHi, err := diff(vHi)
+	if err != nil {
+		return 0, err
+	}
+	if (fLo > 0) == (fHi > 0) {
+		return 0, fmt.Errorf("device: no temperature-inversion crossover in [%g, %g] V", vLo, vHi)
+	}
+	lo, hi := vLo, vHi
+	for hi-lo > 1e-6 {
+		mid := (lo + hi) / 2
+		fm, err := diff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if (fm > 0) == (fLo > 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

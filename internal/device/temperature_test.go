@@ -1,0 +1,116 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelayAtTempMatchesNominalAt300K(t *testing.T) {
+	p := testParams()
+	for _, v := range []float64{0.3, 0.5, 0.8, 1.0} {
+		got, err := p.DelayAtTemp(v, RoomTempK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.NominalDelay(v)
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("DelayAtTemp(%v, 300) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestInverseTemperatureDependence(t *testing.T) {
+	p := testParams() // Vth = 0.35
+	// Near threshold: heating speeds the gate up.
+	cold, err := p.DelayAtTemp(0.40, 273)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := p.DelayAtTemp(0.40, 398)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot >= cold {
+		t.Errorf("near threshold, hot delay %v should be below cold %v (ITD)", hot, cold)
+	}
+	// Strong inversion: heating slows the gate down.
+	cold, err = p.DelayAtTemp(1.2, 273)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err = p.DelayAtTemp(1.2, 398)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot <= cold {
+		t.Errorf("super-threshold, hot delay %v should exceed cold %v", hot, cold)
+	}
+}
+
+func TestTempSensitivitySign(t *testing.T) {
+	p := testParams()
+	sub, err := p.TempSensitivity(0.35, RoomTempK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub >= 0 {
+		t.Errorf("at Vth, sensitivity %v should be negative (ITD)", sub)
+	}
+	super, err := p.TempSensitivity(1.2, RoomTempK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if super <= 0 {
+		t.Errorf("super-threshold sensitivity %v should be positive", super)
+	}
+}
+
+func TestTempInversionPoint(t *testing.T) {
+	p := testParams()
+	v, err := p.TempInversionPoint(0.3, 1.2, 273, 398)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inversion point sits above Vth in the near/super transition.
+	if v < p.Vth0 || v > p.Vth0+0.6 {
+		t.Errorf("inversion point %v V implausible for Vth %v", v, p.Vth0)
+	}
+	// Crossover property: delays nearly equal at the point.
+	hot, err := p.DelayAtTemp(v, 398)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p.DelayAtTemp(v, 273)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hot-cold)/cold > 1e-3 {
+		t.Errorf("delays differ at inversion point: %v vs %v", hot, cold)
+	}
+	// Below/above: opposite signs.
+	sLo, _ := p.TempSensitivity(v-0.1, RoomTempK)
+	sHi, _ := p.TempSensitivity(v+0.1, RoomTempK)
+	if !(sLo < 0 && sHi > 0) {
+		t.Errorf("sensitivity signs around inversion: %v, %v", sLo, sHi)
+	}
+}
+
+func TestTempInversionNoCrossover(t *testing.T) {
+	p := testParams()
+	if _, err := p.TempInversionPoint(1.0, 1.2, 273, 398); err == nil {
+		t.Error("expected no-crossover error in pure super-threshold range")
+	}
+}
+
+func TestTempRangeValidation(t *testing.T) {
+	p := testParams()
+	if _, err := p.DelayAtTemp(0.5, 100); err == nil {
+		t.Error("cryogenic temperature accepted")
+	}
+	if _, err := p.DelayAtTemp(0.5, 600); err == nil {
+		t.Error("out-of-range hot temperature accepted")
+	}
+	if _, err := p.TempInversionPoint(0.3, 1.0, 100, 400); err == nil {
+		t.Error("bad cold temperature accepted")
+	}
+}

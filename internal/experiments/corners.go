@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/corners"
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/simd"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func init() { register("corners", runCorners) }
+
+// CornersCell is one node × voltage signoff comparison.
+type CornersCell struct {
+	Node           string
+	Vdd            float64
+	Signoff        corners.Signoff
+	StatisticalP99 float64 // MC 99% chip delay, seconds
+	OverMarginPct  float64
+}
+
+// CornersResult is an extension beyond the paper: it prices traditional
+// corner-based signoff (SS corner × path-count-aware OCV derate)
+// against the paper's statistical 99 % methodology. The corner flow's
+// surplus margin grows toward threshold — at 90 nm it reserves several
+// times the delay headroom the statistical chip actually needs — while
+// at 22 nm deep-NTV the skewed tail can even slip past the Gaussian
+// derate. Both effects argue for Monte-Carlo sizing of NTV silicon.
+type CornersResult struct {
+	Samples int
+	Cells   []CornersCell
+}
+
+// ID implements Result.
+func (r *CornersResult) ID() string { return "corners" }
+
+// Render implements Result.
+func (r *CornersResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Corner vs statistical signoff (SS + %0.1fσ path-aware OCV), %d samples\n",
+		corners.OCVSigma(simd.DefaultLanes*simd.DefaultPathsPerLane), r.Samples)
+	t := report.NewTable("", "node", "Vdd", "corner signoff", "statistical p99", "over-margin")
+	for _, c := range r.Cells {
+		t.AddRowf(c.Node, fmt.Sprintf("%.2f V", c.Vdd),
+			fmt.Sprintf("%.3f ns", c.Signoff.DelaySS*1e9),
+			fmt.Sprintf("%.3f ns", c.StatisticalP99*1e9),
+			fmt.Sprintf("%+.1f%%", c.OverMarginPct))
+	}
+	b.WriteString(t.String())
+	b.WriteString("positive over-margin: delay headroom the corner flow reserves beyond the\n" +
+		"statistical 99% chip; it grows toward threshold (the cost of corner signoff\n" +
+		"at NTV). Negative values at 22 nm deep-NTV mark the skewed tail escaping the\n" +
+		"Gaussian OCV derate.\n")
+	return b.String()
+}
+
+// CSV implements CSVer.
+func (r *CornersResult) CSV() [][]string {
+	rows := [][]string{{"node", "vdd_v", "corner_s", "statistical_p99_s", "over_margin_pct"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Node, f(c.Vdd), f(c.Signoff.DelaySS), f(c.StatisticalP99), f(c.OverMarginPct),
+		})
+	}
+	return rows
+}
+
+func runCorners(cfg Config) (Result, error) {
+	res := &CornersResult{Samples: cfg.ChipSamples}
+	for ni, node := range tech.Nodes() {
+		dp := simd.New(node)
+		paths := dp.Lanes * dp.PathsPerLane
+		for _, vdd := range []float64{0.50, 0.60, 0.70, node.VddNominal} {
+			s := corners.ChipSignoff(node, vdd, paths)
+			ds := dp.ChipDelays(cfg.Seed+uint64(ni)*59, cfg.ChipSamples, vdd, 0)
+			sort.Float64s(ds)
+			p99 := stats.QuantileSorted(ds, 0.99)
+			res.Cells = append(res.Cells, CornersCell{
+				Node: node.Name, Vdd: vdd, Signoff: s,
+				StatisticalP99: p99,
+				OverMarginPct:  corners.OverMarginPct(s, p99),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment has a constructor returning a structured,
+// renderable result, plus a registry so the CLI, tests and benchmarks
+// share one implementation per artifact.
+//
+// Monte-Carlo sample counts default to the paper's (1000 samples for
+// circuit-level figures, 10 000 for architecture-level ones) and can be
+// reduced via Config for fast regression tests.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Seed           uint64
+	CircuitSamples int // circuit-level MC samples (paper: 1000)
+	ChipSamples    int // architecture-level MC samples (paper: 10 000)
+	SearchSamples  int // MC samples inside spare/margin searches
+}
+
+// Default returns the paper's sample counts with a fixed seed.
+func Default() Config {
+	return Config{Seed: 20120603, CircuitSamples: 1000, ChipSamples: 10000, SearchSamples: 6000}
+}
+
+// Quick returns a reduced configuration for regression tests: the same
+// experiments, two decades fewer samples.
+func Quick() Config {
+	return Config{Seed: 20120603, CircuitSamples: 300, ChipSamples: 1200, SearchSamples: 1200}
+}
+
+// normalize fills zero fields from Default.
+func (c Config) normalize() Config {
+	d := Default()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.CircuitSamples == 0 {
+		c.CircuitSamples = d.CircuitSamples
+	}
+	if c.ChipSamples == 0 {
+		c.ChipSamples = d.ChipSamples
+	}
+	if c.SearchSamples == 0 {
+		c.SearchSamples = d.SearchSamples
+	}
+	return c
+}
+
+// Result is a runnable experiment outcome.
+type Result interface {
+	// ID returns the experiment identifier (fig1 … table4).
+	ID() string
+	// Render returns the human-readable reproduction of the artifact.
+	Render() string
+}
+
+// Runner builds one experiment.
+type Runner func(Config) (Result, error)
+
+// registry maps experiment IDs to runners, populated by the per-artifact
+// files' init functions.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = r
+}
+
+// IDs returns all experiment identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(cfg.normalize())
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+	"github.com/ntvsim/ntvsim/internal/variation"
+)
+
+func init() { register("fig11", runFig11) }
+
+// fig11Lengths is the chain-length sweep of Figure 11 (Appendix C).
+var fig11Lengths = []int{1, 2, 5, 10, 20, 50, 100, 200}
+
+// Fig11Series is one node's 3σ/μ-vs-chain-length curve at 0.55 V.
+type Fig11Series struct {
+	Node     tech.Node
+	Lengths  []int
+	ThreeSig []float64
+}
+
+// Fig11Result reproduces Figure 11: delay variation at 0.55 V versus
+// chain length for the four nodes, demonstrating diminishing returns —
+// |Δ(3σ/μ)/ΔN| falls with N, so longer logic chains alone cannot solve
+// the timing-variation problem.
+type Fig11Result struct {
+	Vdd     float64
+	Samples int
+	Series  []Fig11Series
+}
+
+// ID implements Result.
+func (r *Fig11Result) ID() string { return "fig11" }
+
+// Render implements Result.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: 3σ/μ (%%) at %.2f V vs chain length, %d samples/point\n", r.Vdd, r.Samples)
+	headers := []string{"N"}
+	for _, s := range r.Series {
+		headers = append(headers, s.Node.Name)
+	}
+	t := report.NewTable("", headers...)
+	for i, n := range fig11Lengths {
+		cells := []string{fmt.Sprintf("%d", n)}
+		for _, s := range r.Series {
+			cells = append(cells, fmt.Sprintf("%.2f%%", s.ThreeSig[i]))
+		}
+		t.AddRowf(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+func runFig11(cfg Config) (Result, error) {
+	const vdd = 0.55
+	res := &Fig11Result{Vdd: vdd, Samples: cfg.CircuitSamples}
+	for ni, node := range tech.Nodes() {
+		sampler := variation.NewSampler(node.Dev, node.Var)
+		s := Fig11Series{Node: node, Lengths: fig11Lengths}
+		for _, n := range fig11Lengths {
+			chain := montecarlo.Sample(cfg.Seed+uint64(ni*100+n), cfg.CircuitSamples,
+				func(r *rng.Stream) float64 {
+					return sampler.FreshChainDelay(r, vdd, n)
+				})
+			s.ThreeSig = append(s.ThreeSig, stats.ThreeSigmaOverMu(chain))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+	"github.com/ntvsim/ntvsim/internal/variation"
+)
+
+func init() { register("fig2", runFig2) }
+
+// Fig2Series is one technology node's 3σ/μ-vs-Vdd curve for a 50-FO4
+// chain.
+type Fig2Series struct {
+	Node     tech.Node
+	Vdd      []float64
+	ThreeSig []float64 // 3σ/μ %
+}
+
+// Fig2Result reproduces Figure 2: chain delay variation vs supply
+// voltage for the four technology nodes. Each node is swept from 0.5 V
+// to its nominal voltage (the paper simulates 32/22 nm only up to their
+// 0.9/0.8 V nominals).
+type Fig2Result struct {
+	Samples int
+	Series  []Fig2Series
+}
+
+// ID implements Result.
+func (r *Fig2Result) ID() string { return "fig2" }
+
+// Render implements Result.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: 3σ/μ (%%) of a 50-FO4 chain vs Vdd, %d samples/point\n", r.Samples)
+	t := report.NewTable("", "Vdd", "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP")
+	// Collect union of voltages (all series share the same grid start).
+	grid := r.Series[0].Vdd
+	for _, v := range grid {
+		cells := []string{fmt.Sprintf("%.2f V", v)}
+		for _, s := range r.Series {
+			cell := "—"
+			for i, sv := range s.Vdd {
+				if math.Abs(sv-v) < 1e-6 {
+					cell = fmt.Sprintf("%.2f%%", s.ThreeSig[i])
+				}
+			}
+			cells = append(cells, cell)
+		}
+		t.AddRowf(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// fig2Grid returns the sweep voltages for a node: 0.50 V up to the
+// nominal voltage in 50 mV steps.
+func fig2Grid(n tech.Node) []float64 {
+	var grid []float64
+	for v := 0.50; v <= n.VddNominal+1e-9; v += 0.05 {
+		grid = append(grid, v)
+	}
+	return grid
+}
+
+func runFig2(cfg Config) (Result, error) {
+	res := &Fig2Result{Samples: cfg.CircuitSamples}
+	for ni, node := range tech.Nodes() {
+		sampler := variation.NewSampler(node.Dev, node.Var)
+		s := Fig2Series{Node: node}
+		for _, vdd := range fig2Grid(node) {
+			chain := montecarlo.Sample(cfg.Seed+uint64(ni*1000)+uint64(vdd*100), cfg.CircuitSamples,
+				func(r *rng.Stream) float64 {
+					return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
+				})
+			s.Vdd = append(s.Vdd, vdd)
+			s.ThreeSig = append(s.ThreeSig, stats.ThreeSigmaOverMu(chain))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

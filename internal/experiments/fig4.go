@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/simd"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func init() { register("fig4", runFig4) }
+
+// Fig4Series is one node's performance-drop curve: the relative increase
+// of the 99 % FO4 chip delay at near-threshold voltage over the nominal
+// voltage baseline.
+type Fig4Series struct {
+	Node     tech.Node
+	Baseline float64 // p99 FO4 chip delay at nominal voltage
+	Vdd      []float64
+	DropPct  []float64
+}
+
+// Fig4Result reproduces Figure 4: performance drop (%) of a 128-wide
+// SIMD datapath in the near-threshold region for the four nodes.
+// Paper anchors: 90 nm 5 / 2.5 / 1.5 % at 0.50 / 0.55 / 0.60 V;
+// 22 nm ≈ 18 % at 0.50 V.
+type Fig4Result struct {
+	Samples int
+	Series  []Fig4Series
+}
+
+// ID implements Result.
+func (r *Fig4Result) ID() string { return "fig4" }
+
+// Render implements Result.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: performance drop (%%) vs Vdd, 128-wide SIMD, %d samples\n", r.Samples)
+	t := report.NewTable("", "Vdd", "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP")
+	grid := r.Series[0].Vdd
+	for gi, v := range grid {
+		cells := []string{fmt.Sprintf("%.2f V", v)}
+		for _, s := range r.Series {
+			cell := "—"
+			for i, sv := range s.Vdd {
+				if math.Abs(sv-v) < 1e-6 {
+					cell = fmt.Sprintf("%.2f%%", s.DropPct[i])
+				}
+			}
+			cells = append(cells, cell)
+		}
+		_ = gi
+		t.AddRowf(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Drop returns the performance drop of series s at the given voltage,
+// or NaN if the voltage is not on the grid — a convenience for tests.
+func (s Fig4Series) Drop(vdd float64) float64 {
+	for i, v := range s.Vdd {
+		if math.Abs(v-vdd) < 1e-6 {
+			return s.DropPct[i]
+		}
+	}
+	return math.NaN()
+}
+
+func runFig4(cfg Config) (Result, error) {
+	res := &Fig4Result{Samples: cfg.ChipSamples}
+	for ni, node := range tech.Nodes() {
+		dp := simd.New(node)
+		base := dp.P99ChipDelayFO4(cfg.Seed+uint64(ni)*97, cfg.ChipSamples, node.VddNominal, 0)
+		s := Fig4Series{Node: node, Baseline: base}
+		for _, vdd := range fig2Grid(node) {
+			p99 := dp.P99ChipDelayFO4(cfg.Seed+uint64(ni)*97, cfg.ChipSamples, vdd, 0)
+			s.Vdd = append(s.Vdd, vdd)
+			s.DropPct = append(s.DropPct, 100*(p99/base-1))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/power"
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func init() { register("fig9", runFig9) }
+
+// Fig9Result reproduces Figure 9 (Appendix A): energy and delay versus
+// supply voltage across the super-, near- and sub-threshold regions,
+// with the energy minimum in the sub-threshold region and the
+// near-threshold sweet spot quantified.
+type Fig9Result struct {
+	Node   tech.Node
+	Depth  int
+	Points []power.Energy
+
+	EminVdd    float64 // supply of minimum energy
+	Emin       float64
+	NTVVdd     float64 // representative near-threshold point (Vth + 50 mV)
+	EnergyNTV  float64
+	EnergyNom  float64
+	SpeedupSub float64 // delay(Emin point) / delay(NTV)
+}
+
+// ID implements Result.
+func (r *Fig9Result) ID() string { return "fig9" }
+
+// Render implements Result.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: energy/delay vs Vdd, %s, %d-gate operation\n", r.Node.Name, r.Depth)
+	t := report.NewTable("", "Vdd", "region", "E_dyn", "E_leak", "E_total", "delay")
+	for _, p := range r.Points {
+		t.AddRowf(fmt.Sprintf("%.2f V", p.Vdd),
+			r.Node.Dev.Region(p.Vdd).String(),
+			fmt.Sprintf("%.4f", p.Dynamic),
+			fmt.Sprintf("%.4f", p.Leakage),
+			fmt.Sprintf("%.4f", p.Total()),
+			fmt.Sprintf("%.3g ns", p.Delay*1e9))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "energy minimum: %.4f at %.3f V (%s; Vth = %.3f V)\n",
+		r.Emin, r.EminVdd, r.Node.Dev.Region(r.EminVdd), r.Node.Dev.Vth0)
+	fmt.Fprintf(&b, "near-threshold point %.3f V: energy ×%.2f of minimum, ×%.1f faster than minimum point\n",
+		r.NTVVdd, r.EnergyNTV/r.Emin, r.SpeedupSub)
+	fmt.Fprintf(&b, "nominal %.2f V → NTV energy reduction: ×%.1f\n",
+		r.Node.VddNominal, r.EnergyNom/r.EnergyNTV)
+	return b.String()
+}
+
+func runFig9(cfg Config) (Result, error) {
+	node := tech.N90
+	const depth = tech.ChainLength
+	const activity = 1.0
+	res := &Fig9Result{Node: node, Depth: depth}
+	res.Points = power.Sweep(node.Dev, 0.15, node.VddNominal+0.2, 0.05, depth, activity)
+	res.EminVdd, res.Emin = power.MinEnergyPoint(node.Dev, 0.12, node.VddNominal, depth, activity)
+	res.NTVVdd = node.Dev.Vth0 + 0.05
+	eNTV := power.EnergyPerOp(node.Dev, res.NTVVdd, depth, activity)
+	eMin := power.EnergyPerOp(node.Dev, res.EminVdd, depth, activity)
+	eNom := power.EnergyPerOp(node.Dev, node.VddNominal, depth, activity)
+	res.EnergyNTV = eNTV.Total()
+	res.EnergyNom = eNom.Total()
+	res.SpeedupSub = eMin.Delay / eNTV.Delay
+	return res, nil
+}

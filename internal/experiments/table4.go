@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/margin"
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/simd"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func init() { register("table4", runTable4) }
+
+// Table4Cell is one node × voltage entry of Table 4 (Appendix E).
+type Table4Cell struct {
+	Node   string
+	Vdd    float64
+	Result margin.FrequencyResult
+}
+
+// Table4Result reproduces Table 4: frequency margining — the designed
+// clock period T_clk, the variation-aware period T_va-clk covering the
+// 99 % chip delay, and the performance drop. The paper's conclusion:
+// drops approach ~20 % at advanced nodes, making frequency margining
+// unattractive there.
+type Table4Result struct {
+	Samples int
+	Cells   []Table4Cell
+}
+
+// ID implements Result.
+func (r *Table4Result) ID() string { return "table4" }
+
+// Cell returns the entry for (node name, vdd), or nil.
+func (r *Table4Result) Cell(node string, vdd float64) *Table4Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Node == node && abs(c.Vdd-vdd) < 1e-6 {
+			return c
+		}
+	}
+	return nil
+}
+
+// Render implements Result.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: frequency margining (T_clk vs variation-aware T_va-clk), %d samples\n", r.Samples)
+	t := report.NewTable("", "node", "Vdd", "T_clk", "T_va-clk", "perf drop")
+	for _, c := range r.Cells {
+		t.AddRowf(c.Node, fmt.Sprintf("%.2f V", c.Vdd),
+			fmt.Sprintf("%.2f ns", c.Result.TClk*1e9),
+			fmt.Sprintf("%.2f ns", c.Result.TVaClk*1e9),
+			fmt.Sprintf("%.2f%%", c.Result.DropPct))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+func runTable4(cfg Config) (Result, error) {
+	res := &Table4Result{Samples: cfg.ChipSamples}
+	for ni, node := range tech.Nodes() {
+		dp := simd.New(node)
+		seed := cfg.Seed + uint64(ni)*4241
+		base := dp.P99ChipDelayFO4(seed, cfg.ChipSamples, node.VddNominal, 0)
+		for _, vdd := range table1Voltages {
+			fr := margin.FrequencyMargin(dp, seed, cfg.ChipSamples, vdd, base)
+			res.Cells = append(res.Cells, Table4Cell{Node: node.Name, Vdd: vdd, Result: fr})
+		}
+	}
+	return res, nil
+}

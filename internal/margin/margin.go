@@ -1,0 +1,162 @@
+// Package margin implements voltage margining (§4.2), frequency
+// margining (§4.3) and the combined duplication+margin design-space
+// search (§4.4) for a wide SIMD datapath at near-threshold voltage.
+//
+// The common target follows the paper: a 128-wide system operating at a
+// near-threshold voltage V must achieve the same *FO4-normalized* 99 %
+// chip delay as the baseline achieves at nominal voltage, i.e. an
+// absolute delay target of FO4(V) · fo4chipd99@FV seconds.
+package margin
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/power"
+	"github.com/ntvsim/ntvsim/internal/simd"
+)
+
+// TargetDelay returns the absolute chip-delay target (seconds) for dp
+// operating at supply vdd: the nominal-voltage 99 % FO4 chip delay
+// (baselineFO4) re-expressed in seconds at vdd's FO4 delay.
+func TargetDelay(dp *simd.Datapath, vdd, baselineFO4 float64) float64 {
+	return baselineFO4 * dp.FO4(vdd)
+}
+
+// Baseline computes the nominal-voltage 99 % FO4 chip delay of dp with
+// no spares — the reference every technique must match.
+func Baseline(dp *simd.Datapath, seed uint64, n int) float64 {
+	return dp.P99ChipDelayFO4(seed, n, dp.Node.VddNominal, 0)
+}
+
+// VoltageResult reports a voltage-margin search.
+type VoltageResult struct {
+	Vdd      float64 // intended operating supply, V
+	Margin   float64 // required extra supply V_M, V
+	P99      float64 // achieved 99% chip delay at Vdd+V_M, seconds
+	Target   float64 // target delay, seconds
+	PowerPct float64 // PE power overhead of the margin, percent
+}
+
+// String renders the result like a Table 2 row.
+func (v VoltageResult) String() string {
+	return fmt.Sprintf("Vdd=%.3g V margin=%.1f mV power+%.1f%%", v.Vdd, v.Margin*1e3, v.PowerPct)
+}
+
+// VoltageMargin finds the smallest supply increase V_M (at stepV
+// granularity, e.g. 0.1 mV) such that the 99 % chip delay of dp with the
+// given spare count at vdd+V_M meets the absolute delay target. The same
+// seed is used at every trial voltage, so the 99 % delay is a smooth,
+// monotone function of V_M and bisection is exact.
+func VoltageMargin(dp *simd.Datapath, seed uint64, n int, vdd, target, stepV float64, spares int) VoltageResult {
+	if stepV <= 0 {
+		stepV = 0.1e-3
+	}
+	p99At := func(vm float64) float64 {
+		// SpareCurve reports FO4 units at its own supply; convert back
+		// to absolute seconds at vdd+vm for comparison with the target.
+		return dp.SpareCurve(seed, n, vdd+vm, []int{spares})[0] * dp.FO4(vdd+vm)
+	}
+	res := VoltageResult{Vdd: vdd, Target: target}
+	lo, hi := 0.0, 0.0
+	p99 := p99At(0)
+	if p99 <= target {
+		res.P99 = p99
+		return res // no margin needed
+	}
+	// Exponentially widen until the target is met.
+	for hi = stepV * 8; ; hi *= 2 {
+		p99 = p99At(hi)
+		if p99 <= target {
+			break
+		}
+		lo = hi
+		if hi > 0.3 { // 300 mV of margin means the model has no solution
+			res.Margin = math.Inf(1)
+			res.P99 = p99
+			res.PowerPct = math.Inf(1)
+			return res
+		}
+	}
+	for hi-lo > stepV/2 {
+		mid := (lo + hi) / 2
+		if p99At(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// Round the margin up to the step grid (margins are specified at
+	// design time on a regulator grid, and rounding down would miss the
+	// target).
+	vm := math.Ceil(hi/stepV-1e-9) * stepV
+	res.Margin = vm
+	res.P99 = p99At(vm)
+	res.PowerPct = power.MarginPowerOverheadPct(vdd, vm)
+	return res
+}
+
+// FrequencyResult reports frequency margining at one voltage (§4.3 /
+// Table 4): the designed clock period, the variation-aware period that
+// actually covers the 99 % chip delay, and the throughput loss.
+type FrequencyResult struct {
+	Vdd     float64
+	TClk    float64 // designed clock period, seconds
+	TVaClk  float64 // variation-aware clock period, seconds
+	DropPct float64 // performance degradation, percent
+}
+
+// FrequencyMargin computes the Table 4 row for dp at vdd given the
+// nominal-voltage baseline 99 % FO4 chip delay.
+func FrequencyMargin(dp *simd.Datapath, seed uint64, n int, vdd, baselineFO4 float64) FrequencyResult {
+	tclk := TargetDelay(dp, vdd, baselineFO4)
+	tva := dp.P99ChipDelayFO4(seed, n, vdd, 0) * dp.FO4(vdd)
+	return FrequencyResult{
+		Vdd:     vdd,
+		TClk:    tclk,
+		TVaClk:  tva,
+		DropPct: 100 * (tva/tclk - 1),
+	}
+}
+
+// Choice is one point of the combined duplication + margining design
+// space (Table 3): a spare count, the voltage margin it still requires,
+// and the total power overhead.
+type Choice struct {
+	Spares   int
+	Margin   float64 // V
+	PowerPct float64 // total PE power overhead, percent
+}
+
+// String renders the choice like a Table 3 row.
+func (c Choice) String() string {
+	return fmt.Sprintf("%3d spares + %5.1f mV → %.2f%% power", c.Spares, c.Margin*1e3, c.PowerPct)
+}
+
+// Combined evaluates the duplication+margin trade-off at vdd for each
+// spare count in spares: the voltage margin still required with that
+// many spares, and the summed power overhead. The returned slice is in
+// input order; use Best to pick the cheapest.
+func Combined(dp *simd.Datapath, seed uint64, n int, vdd, target, stepV float64, spares []int) []Choice {
+	out := make([]Choice, 0, len(spares))
+	for _, a := range spares {
+		vr := VoltageMargin(dp, seed, n, vdd, target, stepV, a)
+		out = append(out, Choice{
+			Spares:   a,
+			Margin:   vr.Margin,
+			PowerPct: power.SparePowerOverheadPct(a) + vr.PowerPct,
+		})
+	}
+	return out
+}
+
+// Best returns the minimum-power choice, preferring fewer spares on ties.
+func Best(choices []Choice) Choice {
+	best := choices[0]
+	for _, c := range choices[1:] {
+		if c.PowerPct < best.PowerPct {
+			best = c
+		}
+	}
+	return best
+}

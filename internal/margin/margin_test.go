@@ -1,0 +1,132 @@
+package margin
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/simd"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func TestVoltageMarginMeetsTarget(t *testing.T) {
+	dp := simd.New(tech.N45)
+	const n = 1500
+	const vdd = 0.6
+	base := Baseline(dp, 1, n)
+	target := TargetDelay(dp, vdd, base)
+	vr := VoltageMargin(dp, 1, n, vdd, target, 0.1e-3, 0)
+	if math.IsInf(vr.Margin, 1) {
+		t.Fatal("margin unreachable")
+	}
+	if vr.Margin <= 0 {
+		t.Errorf("expected a positive margin at %gV, got %v", vdd, vr.Margin)
+	}
+	if vr.Margin > 0.05 {
+		t.Errorf("margin %v V implausibly large (paper: tens of mV)", vr.Margin)
+	}
+	if vr.P99 > target {
+		t.Errorf("achieved p99 %v above target %v", vr.P99, target)
+	}
+	// Minimality: one step less must miss the target.
+	lower := dp.SpareCurve(1, n, vdd+vr.Margin-0.1e-3, []int{0})[0] * dp.FO4(vdd+vr.Margin-0.1e-3)
+	if lower <= target {
+		t.Errorf("margin−step already meets target: %v ≤ %v", lower, target)
+	}
+	if vr.PowerPct <= 0 {
+		t.Error("positive margin must cost power")
+	}
+	if vr.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestVoltageMarginZeroWhenMet(t *testing.T) {
+	dp := simd.New(tech.N90)
+	const n = 1000
+	base := Baseline(dp, 2, n)
+	// Target at nominal voltage is met by construction.
+	target := TargetDelay(dp, tech.N90.VddNominal, base)
+	vr := VoltageMargin(dp, 2, n, tech.N90.VddNominal, target, 0.1e-3, 0)
+	if vr.Margin != 0 {
+		t.Errorf("margin = %v, want 0", vr.Margin)
+	}
+	if vr.PowerPct != 0 {
+		t.Errorf("power = %v, want 0", vr.PowerPct)
+	}
+}
+
+func TestSparesReduceRequiredMargin(t *testing.T) {
+	dp := simd.New(tech.N45)
+	const n = 1500
+	const vdd = 0.6
+	base := Baseline(dp, 3, n)
+	target := TargetDelay(dp, vdd, base)
+	m0 := VoltageMargin(dp, 3, n, vdd, target, 0.1e-3, 0)
+	m8 := VoltageMargin(dp, 3, n, vdd, target, 0.1e-3, 8)
+	if m8.Margin >= m0.Margin {
+		t.Errorf("8 spares should reduce margin: %v vs %v", m8.Margin, m0.Margin)
+	}
+}
+
+func TestFrequencyMargin(t *testing.T) {
+	dp := simd.New(tech.N22)
+	const n = 1500
+	base := Baseline(dp, 4, n)
+	fr := FrequencyMargin(dp, 4, n, 0.5, base)
+	if fr.TVaClk <= fr.TClk {
+		t.Error("variation-aware clock must be slower than designed clock at NTV")
+	}
+	if fr.DropPct < 5 || fr.DropPct > 40 {
+		t.Errorf("22nm @0.5V perf drop %v%%, paper ≈20%%", fr.DropPct)
+	}
+	// Consistency: drop = (TVa/TClk − 1)·100.
+	want := 100 * (fr.TVaClk/fr.TClk - 1)
+	if math.Abs(fr.DropPct-want) > 1e-9 {
+		t.Error("drop percentage inconsistent")
+	}
+}
+
+func TestFrequencyMarginShrinksAtHigherVdd(t *testing.T) {
+	dp := simd.New(tech.N90)
+	const n = 1500
+	base := Baseline(dp, 5, n)
+	d5 := FrequencyMargin(dp, 5, n, 0.5, base).DropPct
+	d7 := FrequencyMargin(dp, 5, n, 0.7, base).DropPct
+	if d7 >= d5 {
+		t.Errorf("drop at 0.7V (%v) should be below 0.5V (%v)", d7, d5)
+	}
+}
+
+func TestCombinedAndBest(t *testing.T) {
+	dp := simd.New(tech.N45)
+	const n = 1200
+	const vdd = 0.6
+	base := Baseline(dp, 6, n)
+	target := TargetDelay(dp, vdd, base)
+	choices := Combined(dp, 6, n, vdd, target, 0.1e-3, []int{0, 2, 8})
+	if len(choices) != 3 {
+		t.Fatalf("want 3 choices, got %d", len(choices))
+	}
+	// Margins must decrease with spare count.
+	if !(choices[0].Margin >= choices[1].Margin && choices[1].Margin >= choices[2].Margin) {
+		t.Errorf("margins not decreasing with spares: %v", choices)
+	}
+	best := Best(choices)
+	for _, c := range choices {
+		if c.PowerPct < best.PowerPct {
+			t.Errorf("Best missed cheaper choice %v", c)
+		}
+	}
+	if best.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTargetDelayScaling(t *testing.T) {
+	dp := simd.New(tech.N90)
+	// Target in seconds must scale with the FO4 delay at the operating
+	// voltage: same FO4-normalized delay at every supply.
+	if TargetDelay(dp, 0.5, 55) <= TargetDelay(dp, 0.6, 55) {
+		t.Error("target at 0.5V must be longer in absolute time than at 0.6V")
+	}
+}

@@ -1,0 +1,105 @@
+// Package montecarlo runs deterministic, parallel Monte-Carlo sampling.
+//
+// Every sample index derives its own PRNG sub-stream from the experiment
+// seed, so results are bit-identical regardless of GOMAXPROCS or
+// scheduling order — a requirement for the reproducibility claims of the
+// study (and for stable golden tests).
+package montecarlo
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+)
+
+// Sample evaluates fn for n independent sample indices and returns the
+// values in index order. Each invocation receives a PRNG stream derived
+// from (seed, index).
+func Sample(seed uint64, n int, fn func(r *rng.Stream) float64) []float64 {
+	out := make([]float64, n)
+	parallelFor(n, func(i int) {
+		out[i] = fn(rng.NewSub(seed, i))
+	})
+	return out
+}
+
+// SampleVec evaluates a vector-valued fn for n sample indices. fn must
+// write its outputs into dst (length width); the result is an n×width
+// row-major matrix flattened into rows.
+func SampleVec(seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) [][]float64 {
+	out := make([][]float64, n)
+	parallelFor(n, func(i int) {
+		row := make([]float64, width)
+		fn(rng.NewSub(seed, i), row)
+		out[i] = row
+	})
+	return out
+}
+
+// Moments evaluates fn for n sample indices and accumulates streaming
+// moments without retaining individual samples. Use it when only μ, σ
+// and extrema are needed and n is large.
+func Moments(seed uint64, n int, fn func(r *rng.Stream) float64) stats.Stream {
+	workers := workerCount(n)
+	partial := make([]stats.Stream, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := span(n, workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				partial[w].Add(fn(rng.NewSub(seed, i)))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total stats.Stream
+	for w := range partial {
+		total.Merge(&partial[w])
+	}
+	return total
+}
+
+// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers.
+func parallelFor(n int, body func(i int)) {
+	workers := workerCount(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := span(n, workers, w)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func workerCount(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// span returns the half-open index range assigned to worker w of workers.
+func span(n, workers, w int) (lo, hi int) {
+	lo = n * w / workers
+	hi = n * (w + 1) / workers
+	return lo, hi
+}

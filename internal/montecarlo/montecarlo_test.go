@@ -1,0 +1,126 @@
+package montecarlo
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func TestSampleDeterministic(t *testing.T) {
+	f := func(r *rng.Stream) float64 { return r.Float64() }
+	a := Sample(1, 1000, f)
+	b := Sample(1, 1000, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Sample not deterministic")
+		}
+	}
+}
+
+func TestSampleIndependentOfParallelism(t *testing.T) {
+	f := func(r *rng.Stream) float64 { return r.Norm() }
+	old := runtime.GOMAXPROCS(1)
+	serial := Sample(7, 500, f)
+	runtime.GOMAXPROCS(old)
+	parallel := Sample(7, 500, f)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatal("results depend on GOMAXPROCS")
+		}
+	}
+}
+
+func TestSampleSeedMatters(t *testing.T) {
+	f := func(r *rng.Stream) float64 { return r.Float64() }
+	a := Sample(1, 100, f)
+	b := Sample(2, 100, f)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d identical values across seeds", same)
+	}
+}
+
+func TestMomentsMatchesSample(t *testing.T) {
+	f := func(r *rng.Stream) float64 { return r.Gauss(3, 2) }
+	xs := Sample(11, 20000, f)
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	st := Moments(11, 20000, f)
+	if math.Abs(st.Mean()-mean) > 1e-9 {
+		t.Errorf("Moments mean %v vs Sample mean %v", st.Mean(), mean)
+	}
+	if st.N() != 20000 {
+		t.Errorf("N = %d", st.N())
+	}
+}
+
+func TestSampleVec(t *testing.T) {
+	rows := SampleVec(5, 100, 3, func(r *rng.Stream, dst []float64) {
+		base := r.Float64()
+		for i := range dst {
+			dst[i] = base + float64(i)
+		}
+	})
+	if len(rows) != 100 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != 3 {
+			t.Fatalf("row width = %d", len(row))
+		}
+		if math.Abs(row[1]-row[0]-1) > 1e-12 || math.Abs(row[2]-row[1]-1) > 1e-12 {
+			t.Error("row contents wrong")
+		}
+	}
+	// Determinism of vector sampling.
+	again := SampleVec(5, 100, 3, func(r *rng.Stream, dst []float64) {
+		base := r.Float64()
+		for i := range dst {
+			dst[i] = base + float64(i)
+		}
+	})
+	for i := range rows {
+		if rows[i][0] != again[i][0] {
+			t.Fatal("SampleVec not deterministic")
+		}
+	}
+}
+
+func TestSmallN(t *testing.T) {
+	if got := Sample(1, 0, func(*rng.Stream) float64 { return 1 }); len(got) != 0 {
+		t.Error("n=0 should give empty slice")
+	}
+	if got := Sample(1, 1, func(*rng.Stream) float64 { return 42 }); len(got) != 1 || got[0] != 42 {
+		t.Error("n=1 mishandled")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	// All indices covered exactly once for any worker split.
+	for _, n := range []int{1, 7, 100, 101} {
+		for workers := 1; workers <= 8; workers++ {
+			covered := make([]int, n)
+			for w := 0; w < workers; w++ {
+				lo, hi := span(n, workers, w)
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d index %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func TestSpareAreaMatchesPaper(t *testing.T) {
+	// Table 1 recoverable anchors: 128 spares = 57.8 %, 6 = 2.6 %,
+	// 2 = 0.9 %, 1 = 0.4 % (rounded to one decimal in the paper).
+	cases := []struct {
+		alpha int
+		want  float64
+		tol   float64
+	}{
+		{128, 57.8, 0.01},
+		{6, 2.6, 0.15},
+		{2, 0.9, 0.05},
+		{1, 0.4, 0.06},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SpareAreaOverheadPct(c.alpha); math.Abs(got-c.want) > c.tol {
+			t.Errorf("area(%d) = %v, want ≈%v", c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestSparePowerMatchesPaper(t *testing.T) {
+	// Fitted Table 1 points; ≤0.15 pp residual.
+	cases := []struct {
+		alpha int
+		want  float64
+	}{
+		{1, 0.2}, {2, 0.3}, {6, 1.0}, {28, 4.6}, {128, 25.0},
+	}
+	for _, c := range cases {
+		if got := SparePowerOverheadPct(c.alpha); math.Abs(got-c.want) > 0.35 {
+			t.Errorf("power(%d) = %v, want ≈%v", c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestSparePowerSuperlinear(t *testing.T) {
+	// The shuffle-network term makes overhead grow faster than linear.
+	if 2*SparePowerOverheadPct(64) >= SparePowerOverheadPct(128) {
+		t.Error("spare power should be superlinear in count")
+	}
+}
+
+func TestMarginPowerMatchesPaperTable2(t *testing.T) {
+	// Table 2 rows (Vdd, V_M mV, power %): the 0.42 NTV-domain share
+	// reproduces every row within 0.2 pp.
+	cases := []struct {
+		vdd, vm, want float64
+	}{
+		{0.50, 5.8e-3, 1.0},
+		{0.55, 4.1e-3, 0.6},
+		{0.70, 1.7e-3, 0.2},
+		{0.50, 19.6e-3, 3.3},
+		{0.50, 12.1e-3, 2.0},
+		{0.50, 16.4e-3, 2.8},
+		{0.60, 11.1e-3, 1.6},
+	}
+	for _, c := range cases {
+		if got := MarginPowerOverheadPct(c.vdd, c.vm); math.Abs(got-c.want) > 0.2 {
+			t.Errorf("margin power(%v, %v) = %v, want ≈%v", c.vdd, c.vm, got, c.want)
+		}
+	}
+}
+
+func TestMarginPowerZero(t *testing.T) {
+	if got := MarginPowerOverheadPct(0.6, 0); got != 0 {
+		t.Errorf("zero margin cost = %v", got)
+	}
+}
+
+func TestEnergyMinimumInSubthreshold(t *testing.T) {
+	for _, node := range tech.Nodes() {
+		vmin, emin := MinEnergyPoint(node.Dev, 0.12, node.VddNominal, 50, 1.0)
+		if vmin >= node.Dev.Vth0 {
+			t.Errorf("%s: energy minimum at %v ≥ Vth %v (should be sub-threshold)",
+				node.Name, vmin, node.Dev.Vth0)
+		}
+		if emin <= 0 {
+			t.Errorf("%s: non-positive minimum energy", node.Name)
+		}
+	}
+}
+
+func TestEnergyShapeFigure9(t *testing.T) {
+	// The Figure 9 narrative for the canonical 90 nm curve:
+	// energy at NTV ≥ minimum but within ~2×; nominal ≥ 3× NTV;
+	// performance from the minimum point to NTV improves by ≥ 5×.
+	d := tech.N90.Dev
+	vmin, emin := MinEnergyPoint(d, 0.12, 1.0, 50, 1.0)
+	ntv := EnergyPerOp(d, d.Vth0+0.05, 50, 1.0)
+	nom := EnergyPerOp(d, 1.0, 50, 1.0)
+	sub := EnergyPerOp(d, vmin, 50, 1.0)
+	ratioNTV := ntv.Total() / emin
+	if ratioNTV < 1 || ratioNTV > 2.5 {
+		t.Errorf("E(NTV)/Emin = %v, paper ≈2", ratioNTV)
+	}
+	if r := nom.Total() / ntv.Total(); r < 3 {
+		t.Errorf("E(nominal)/E(NTV) = %v, paper ≈10", r)
+	}
+	if speedup := sub.Delay / ntv.Delay; speedup < 5 {
+		t.Errorf("sub→near speedup ×%v, paper 6–11×", speedup)
+	}
+}
+
+func TestLeakageDominatesDeepSubthreshold(t *testing.T) {
+	d := tech.N90.Dev
+	e := EnergyPerOp(d, 0.15, 50, 1.0)
+	if e.Leakage <= e.Dynamic {
+		t.Errorf("at 0.15V leakage (%v) should dominate dynamic (%v)", e.Leakage, e.Dynamic)
+	}
+}
+
+func TestDynamicDominatesNominal(t *testing.T) {
+	d := tech.N90.Dev
+	e := EnergyPerOp(d, 1.0, 50, 1.0)
+	if e.Dynamic <= e.Leakage {
+		t.Errorf("at 1V dynamic (%v) should dominate leakage (%v)", e.Dynamic, e.Leakage)
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	pts := Sweep(tech.N90.Dev, 0.2, 1.0, 0.1, 50, 1.0)
+	if len(pts) != 9 {
+		t.Fatalf("sweep points = %d, want 9", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Vdd <= pts[i-1].Vdd {
+			t.Error("sweep grid not increasing")
+		}
+		if pts[i].Delay >= pts[i-1].Delay {
+			t.Error("delay must fall with Vdd")
+		}
+	}
+}
+
+func TestEnergyTotal(t *testing.T) {
+	e := Energy{Dynamic: 1.5, Leakage: 0.5}
+	if e.Total() != 2 {
+		t.Errorf("Total = %v", e.Total())
+	}
+}
+
+func TestNTVDomainShareSane(t *testing.T) {
+	if NTVDomainPowerFrac < 0.3 || NTVDomainPowerFrac > 0.6 {
+		t.Errorf("NTV domain share %v outside plausible Diet SODA range", NTVDomainPowerFrac)
+	}
+	if math.Abs(FUAreaFracPct*128-57.8) > 1e-9 {
+		t.Errorf("128 FUs should be exactly 57.8%% area")
+	}
+}

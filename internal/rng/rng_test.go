@@ -1,0 +1,121 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions across different seeds", same)
+	}
+}
+
+func TestSubStreamsIndependent(t *testing.T) {
+	// Sub-streams of the same seed must not be correlated: estimate the
+	// correlation of consecutive sub-streams' uniforms.
+	const n = 20000
+	a, b := NewSub(7, 0), NewSub(7, 1)
+	var sa, sb, saa, sbb, sab float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	ma, mb := sa/n, sb/n
+	cov := sab/n - ma*mb
+	va, vb := saa/n-ma*ma, sbb/n-mb*mb
+	if r := cov / math.Sqrt(va*vb); math.Abs(r) > 0.03 {
+		t.Errorf("sub-stream correlation %v too large", r)
+	}
+}
+
+func TestSubStreamDeterministic(t *testing.T) {
+	if NewSub(9, 5).Uint64() != NewSub(9, 5).Uint64() {
+		t.Error("NewSub must be deterministic")
+	}
+	if NewSub(9, 5).Uint64() == NewSub(9, 6).Uint64() {
+		t.Error("different sub-stream indices should differ")
+	}
+}
+
+func TestGaussMoments(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Gauss(5, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("sd = %v", sd)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		if u := r.Float64(); u < 0 || u >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", u)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitDiffers(t *testing.T) {
+	r := New(19)
+	a := r.Split(0)
+	b := r.Split(0) // consumes parent entropy: different child
+	if a.Uint64() == b.Uint64() {
+		t.Error("repeated Split(0) should yield different children")
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(23)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		counts[r.IntN(7)]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("IntN(7) value %d count %d far from uniform", v, c)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package simd
+
+import (
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func BenchmarkBuildLaw(b *testing.B) {
+	dp := New(tech.N90)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dp.buildLaw(0.55)
+	}
+}
+
+func BenchmarkSampleChipDelayFast(b *testing.B) {
+	dp := New(tech.N90)
+	dp.prepare(0.55)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.SampleChipDelay(r, 0.55, 0)
+	}
+}
+
+func BenchmarkSampleChipDelayCorrelated(b *testing.B) {
+	dp := New(tech.N90)
+	dp.Corr = SharedDie
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dp.SampleChipDelay(r, 0.55, 0)
+	}
+}
+
+func BenchmarkSampleChipDelayExact(b *testing.B) {
+	dp := New(tech.N90)
+	dp.Exact = true
+	dp.Lanes = 8
+	dp.PathsPerLane = 10
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		dp.SampleChipDelay(r, 0.55, 0)
+	}
+}
+
+func BenchmarkSpareCurve(b *testing.B) {
+	dp := New(tech.N90)
+	alphas := []int{0, 2, 4, 8, 16, 32}
+	for i := 0; i < b.N; i++ {
+		dp.SpareCurve(1, 500, 0.55, alphas)
+	}
+}

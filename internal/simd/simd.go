@@ -1,0 +1,621 @@
+// Package simd models the delay statistics of a wide SIMD datapath under
+// process variation, following the paper's §3.2 simplifications:
+//
+//   - each critical path is emulated by a chain of 50 FO4 inverters;
+//   - each SIMD lane contains 100 such paths (50 critical + 50
+//     near-critical, from the Diet SODA synthesis report);
+//   - the lane delay is the slowest path in the lane;
+//   - the chip delay of an N-wide datapath is the slowest of its N lanes.
+//
+// Following the paper's Monte-Carlo methodology, every critical path is
+// an independent draw from the 50-FO4-chain delay distribution (the
+// distribution of Figure 1(b), which already contains the die-to-die
+// spread as part of its width). Two alternative correlation models are
+// kept as ablations: SharedDie shares one die-level draw across all
+// lanes of a chip — under strong die-level correlation structural
+// duplication loses most of its power, because dropping slow lanes
+// cannot fix a slow die — and Spatial interpolates between the extremes
+// with an AR(1) systematic field across the lane array.
+//
+// The default sampler draws lane delays by inverse-CDF sampling from a
+// numerically constructed lane-delay law (the path law raised to the
+// 100th power), which makes chip-level Monte Carlo cheap enough for the
+// spare-count and voltage-margin searches. A gate-level exact sampler
+// (Exact) remains available and is statistically indistinguishable (KS
+// tests in the package tests).
+package simd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+	"github.com/ntvsim/ntvsim/internal/variation"
+)
+
+// DefaultLanes is the paper's SIMD width (Diet SODA).
+const DefaultLanes = 128
+
+// DefaultPathsPerLane is the paper's per-lane critical-path count.
+const DefaultPathsPerLane = 100
+
+// CorrelationModel selects how die-level variation is shared across the
+// lanes of one chip sample.
+type CorrelationModel int
+
+const (
+	// IIDPaths is the paper's methodology: every critical path is an
+	// independent draw from the full chain-delay distribution.
+	IIDPaths CorrelationModel = iota
+	// SharedDie draws the die-level variation once per chip and shares
+	// it across all lanes — the physically conservative extreme, under
+	// which structural duplication loses most of its value.
+	SharedDie
+	// Spatial draws a smoothly varying systematic field across the lane
+	// array: an AR(1) process in lane index with stationary variance
+	// equal to the calibrated die-level variance and e-folding length
+	// CorrLanes. CorrLanes → 0 approaches per-lane independence;
+	// CorrLanes → ∞ approaches SharedDie.
+	Spatial
+)
+
+// String names the model.
+func (c CorrelationModel) String() string {
+	switch c {
+	case IIDPaths:
+		return "iid-paths"
+	case SharedDie:
+		return "shared-die"
+	case Spatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("CorrelationModel(%d)", int(c))
+	}
+}
+
+// Datapath is the delay model of a wide SIMD datapath on one technology
+// node. The zero Corr/Exact fields select the paper's methodology:
+// independent paths, sampled from the numerical chain-delay law.
+type Datapath struct {
+	Node         tech.Node
+	Lanes        int
+	PathsPerLane int
+	ChainLen     int
+
+	// Corr selects the lane-correlation model; the zero value is the
+	// paper's iid-path methodology.
+	Corr CorrelationModel
+	// CorrLanes is the e-folding correlation length, in lanes, of the
+	// Spatial model (ignored otherwise). Zero gives per-lane-independent
+	// systematic draws (ρ = 0).
+	CorrLanes float64
+	// Exact uses the gate-level path sampler (slow; for validation).
+	Exact bool
+
+	mu      sync.Mutex
+	laws    map[float64]*delayLaw    // iid-mode quantile tables, per supply
+	moments map[float64]*momentTable // spatial-mode conditional moments, per supply
+}
+
+// New returns the paper's canonical datapath (128 lanes × 100 paths of
+// 50 FO4 inverters) on the given node.
+func New(node tech.Node) *Datapath {
+	return &Datapath{
+		Node:         node,
+		Lanes:        DefaultLanes,
+		PathsPerLane: DefaultPathsPerLane,
+		ChainLen:     tech.ChainLength,
+	}
+}
+
+// Validate reports whether the datapath dimensions are usable.
+func (dp *Datapath) Validate() error {
+	if dp.Lanes < 1 || dp.PathsPerLane < 1 || dp.ChainLen < 1 {
+		return fmt.Errorf("simd: invalid datapath dimensions %d lanes × %d paths × %d gates",
+			dp.Lanes, dp.PathsPerLane, dp.ChainLen)
+	}
+	return nil
+}
+
+// FO4 returns the nominal FO4 inverter delay (seconds) at supply vdd —
+// the delay unit used in the paper's architecture-level figures.
+func (dp *Datapath) FO4(vdd float64) float64 {
+	return dp.Node.Dev.NominalDelay(vdd)
+}
+
+// delayLaw holds inverse-CDF tables of the path delay and the lane delay
+// (max of PathsPerLane iid paths) at one supply voltage.
+type delayLaw struct {
+	x     []float64 // delay grid, seconds, ascending
+	fPath []float64 // CDF of one path on the grid
+	fLane []float64 // CDF of the lane = fPath^PathsPerLane
+}
+
+// lawGridPoints is the delay-grid resolution of the numerical law. The
+// chip p99 needs the lane CDF resolved to ~1e-4; 1024 points across a
+// ±(5σ D2D × 8σ WID) span resolve it well below the Monte-Carlo noise
+// floor (the KS tests against gate-level sampling validate this).
+const lawGridPoints = 1024
+
+// outerQuadPoints is the grid size for the two correlated (die-level)
+// integration dimensions of the path law. The integrands are smooth
+// Gaussian mixtures; 17-point normalized Simpson over ±5σ is accurate
+// to ≪ the lane-CDF resolution.
+const outerQuadPoints = 17
+
+// buildLaw constructs the numerical path/lane delay law at supply vdd:
+//
+//	path = exp(g) · Normal(μ(d), σ(d)),  d ~ N(0, σ_vth,D2D),
+//	                                     g ~ N(0, σ_mul,D2D),
+//
+// where μ(d), σ(d) are the die-conditional chain moments (quadrature
+// over the within-die variation) from internal/device.
+func (dp *Datapath) buildLaw(vdd float64) *delayLaw {
+	v := dp.Node.Var
+	p := dp.Node.Dev
+
+	// Outer grids with Gaussian weights (normalized Simpson).
+	dGrid, dW := gaussGrid(v.SigmaVthD2D, outerQuadPoints)
+	gGrid, gW := gaussGrid(v.SigmaMulD2D, outerQuadPoints)
+
+	type cond struct{ mu, sigma, mul, w float64 }
+	conds := make([]cond, 0, len(dGrid)*len(gGrid))
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	for i, d := range dGrid {
+		m, vr := device.ChainConditionalMoments(p, v, vdd, dp.ChainLen, d)
+		s := math.Sqrt(vr)
+		for j, g := range gGrid {
+			mul := math.Exp(g)
+			conds = append(conds, cond{mu: m, sigma: s, mul: mul, w: dW[i] * gW[j]})
+			if lo := (m - 8*s) * mul; lo < xlo {
+				xlo = lo
+			}
+			if hi := (m + 10*s) * mul; hi > xhi {
+				xhi = hi
+			}
+		}
+	}
+	if xlo < 0 {
+		xlo = 0
+	}
+
+	law := &delayLaw{
+		x:     make([]float64, lawGridPoints),
+		fPath: make([]float64, lawGridPoints),
+		fLane: make([]float64, lawGridPoints),
+	}
+	std := stats.Normal{Mu: 0, Sigma: 1}
+	pow := float64(dp.PathsPerLane)
+	for k := 0; k < lawGridPoints; k++ {
+		x := xlo + (xhi-xlo)*float64(k)/float64(lawGridPoints-1)
+		var f float64
+		for _, c := range conds {
+			f += c.w * std.CDF((x/c.mul-c.mu)/c.sigma)
+		}
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		law.x[k] = x
+		law.fPath[k] = f
+		law.fLane[k] = math.Pow(f, pow)
+	}
+	return law
+}
+
+// gaussGrid returns a quadrature grid over ±5σ with normalized Simpson ×
+// Gaussian-density weights. For σ = 0 it degenerates to a point mass.
+func gaussGrid(sigma float64, n int) (grid, w []float64) {
+	if sigma == 0 {
+		return []float64{0}, []float64{1}
+	}
+	if n%2 == 0 {
+		n++
+	}
+	grid = make([]float64, n)
+	w = make([]float64, n)
+	lo, hi := -5*sigma, 5*sigma
+	h := (hi - lo) / float64(n-1)
+	var sum float64
+	for i := range grid {
+		x := lo + float64(i)*h
+		grid[i] = x
+		c := 2.0
+		switch {
+		case i == 0 || i == n-1:
+			c = 1
+		case i%2 == 1:
+			c = 4
+		}
+		z := x / sigma
+		w[i] = c * math.Exp(-0.5*z*z)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return grid, w
+}
+
+// lawFor returns the cached delay law at vdd, building it on first use.
+func (dp *Datapath) lawFor(vdd float64) *delayLaw {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if dp.laws == nil {
+		dp.laws = make(map[float64]*delayLaw)
+	}
+	if law, ok := dp.laws[vdd]; ok {
+		return law
+	}
+	law := dp.buildLaw(vdd)
+	dp.laws[vdd] = law
+	return law
+}
+
+// invert samples the delay at CDF value u from the table by binary
+// search and linear interpolation.
+func invert(x, f []float64, u float64) float64 {
+	i := sort.SearchFloat64s(f, u)
+	switch {
+	case i <= 0:
+		return x[0]
+	case i >= len(f):
+		return x[len(x)-1]
+	}
+	f0, f1 := f[i-1], f[i]
+	if f1 == f0 {
+		return x[i]
+	}
+	return x[i-1] + (x[i]-x[i-1])*(u-f0)/(f1-f0)
+}
+
+// SamplePathDelay draws one critical-path delay (seconds) at supply vdd.
+func (dp *Datapath) SamplePathDelay(r *rng.Stream, vdd float64) float64 {
+	if dp.Exact {
+		s := variation.NewSampler(dp.Node.Dev, dp.Node.Var)
+		return s.FreshChainDelay(r, vdd, dp.ChainLen)
+	}
+	law := dp.lawFor(vdd)
+	return invert(law.x, law.fPath, r.Float64())
+}
+
+// SampleLaneDelays draws the delays of len(dst) lanes of one chip at
+// supply vdd into dst (seconds).
+//
+// In the default (paper) mode every lane is an independent draw from the
+// lane law — the maximum of PathsPerLane iid path delays, sampled by a
+// single inverse-CDF lookup. In Correlated mode all lanes share one
+// die-level variation draw; in Exact mode every gate of every path is
+// sampled individually.
+func (dp *Datapath) SampleLaneDelays(r *rng.Stream, vdd float64, dst []float64) {
+	if dp.Exact {
+		dp.sampleLanesExact(r, vdd, dst)
+		return
+	}
+	switch dp.Corr {
+	case SharedDie:
+		law := dp.drawDie(r, vdd)
+		pathLaw := stats.Normal{Mu: law.mu, Sigma: law.sigma}
+		pinv := 1.0 / float64(dp.PathsPerLane)
+		for i := range dst {
+			u := clampU(math.Pow(r.Float64(), pinv))
+			dst[i] = law.mul * pathLaw.Quantile(u)
+		}
+	case Spatial:
+		tbl := dp.momentsFor(vdd)
+		pinv := 1.0 / float64(dp.PathsPerLane)
+		field := newLaneField(dp.Node.Var.SigmaVthD2D, dp.Node.Var.SigmaMulD2D, dp.CorrLanes, r)
+		for i := range dst {
+			dvth, mul := field.next(r)
+			mu, sigma := tbl.at(dvth)
+			u := clampU(math.Pow(r.Float64(), pinv))
+			dst[i] = mul * stats.Normal{Mu: mu, Sigma: sigma}.Quantile(u)
+		}
+	default: // IIDPaths
+		law := dp.lawFor(vdd)
+		for i := range dst {
+			dst[i] = invert(law.x, law.fLane, r.Float64())
+		}
+	}
+}
+
+// sampleLanesExact is the gate-level sampler for every correlation model.
+func (dp *Datapath) sampleLanesExact(r *rng.Stream, vdd float64, dst []float64) {
+	s := variation.NewSampler(dp.Node.Dev, dp.Node.Var)
+	var die variation.Die
+	var field *laneField
+	switch dp.Corr {
+	case SharedDie:
+		die = s.Die(r)
+	case Spatial:
+		field = newLaneField(dp.Node.Var.SigmaVthD2D, dp.Node.Var.SigmaMulD2D, dp.CorrLanes, r)
+	}
+	for i := range dst {
+		switch dp.Corr {
+		case SharedDie:
+			// die fixed for the whole chip
+		case Spatial:
+			dvth, mul := field.next(r)
+			die = variation.Die{DVth: dvth, Mul: mul}
+		default:
+			die = s.Die(r)
+		}
+		worst := 0.0
+		for p := 0; p < dp.PathsPerLane; p++ {
+			if dp.Corr == IIDPaths && p > 0 {
+				die = s.Die(r) // fresh draw per path: fully independent paths
+			}
+			d := s.ChainDelay(r, vdd, dp.ChainLen, die)
+			if d > worst {
+				worst = d
+			}
+		}
+		dst[i] = worst
+	}
+}
+
+// laneField generates stationary AR(1) systematic variation across the
+// lane array: x_{l+1} = ρ·x_l + √(1−ρ²)·ε, ρ = exp(−1/CorrLanes).
+type laneField struct {
+	rho, comp      float64
+	sigmaV, sigmaM float64
+	v, m           float64
+	started        bool
+}
+
+func newLaneField(sigmaVth, sigmaMul, corrLanes float64, r *rng.Stream) *laneField {
+	rho := 0.0
+	if corrLanes > 0 {
+		rho = math.Exp(-1 / corrLanes)
+	}
+	return &laneField{
+		rho: rho, comp: math.Sqrt(1 - rho*rho),
+		sigmaV: sigmaVth, sigmaM: sigmaMul,
+	}
+}
+
+// next returns the (ΔVth, multiplicative) systematic pair for the next lane.
+func (f *laneField) next(r *rng.Stream) (dvth, mul float64) {
+	if !f.started {
+		f.v = r.Gauss(0, f.sigmaV)
+		f.m = r.Gauss(0, f.sigmaM)
+		f.started = true
+	} else {
+		f.v = f.rho*f.v + f.comp*r.Gauss(0, f.sigmaV)
+		f.m = f.rho*f.m + f.comp*r.Gauss(0, f.sigmaM)
+	}
+	return f.v, math.Exp(f.m)
+}
+
+// momentTable interpolates the die-conditional chain moments over the
+// die V_th shift, so spatial sampling avoids a quadrature per lane.
+type momentTable struct {
+	lo, step  float64
+	mu, sigma []float64
+}
+
+// momentTablePoints is the interpolation grid resolution over ±5σ.
+const momentTablePoints = 65
+
+func (dp *Datapath) buildMoments(vdd float64) *momentTable {
+	sd := dp.Node.Var.SigmaVthD2D
+	lo, hi := -5*sd, 5*sd
+	if sd == 0 {
+		lo, hi = -1e-6, 1e-6
+	}
+	t := &momentTable{
+		lo:    lo,
+		step:  (hi - lo) / (momentTablePoints - 1),
+		mu:    make([]float64, momentTablePoints),
+		sigma: make([]float64, momentTablePoints),
+	}
+	for i := 0; i < momentTablePoints; i++ {
+		d := lo + float64(i)*t.step
+		m, v := device.ChainConditionalMoments(dp.Node.Dev, dp.Node.Var, vdd, dp.ChainLen, d)
+		t.mu[i] = m
+		t.sigma[i] = math.Sqrt(v)
+	}
+	return t
+}
+
+// at returns linearly interpolated (μ, σ) at die shift d, clamping to
+// the table range (±5σ covers all but ~6e-7 of the mass).
+func (t *momentTable) at(d float64) (mu, sigma float64) {
+	x := (d - t.lo) / t.step
+	i := int(x)
+	switch {
+	case i < 0:
+		return t.mu[0], t.sigma[0]
+	case i >= len(t.mu)-1:
+		return t.mu[len(t.mu)-1], t.sigma[len(t.sigma)-1]
+	}
+	f := x - float64(i)
+	return t.mu[i] + f*(t.mu[i+1]-t.mu[i]), t.sigma[i] + f*(t.sigma[i+1]-t.sigma[i])
+}
+
+// momentsFor returns the cached moment table at vdd.
+func (dp *Datapath) momentsFor(vdd float64) *momentTable {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if dp.moments == nil {
+		dp.moments = make(map[float64]*momentTable)
+	}
+	if t, ok := dp.moments[vdd]; ok {
+		return t
+	}
+	t := dp.buildMoments(vdd)
+	dp.moments[vdd] = t
+	return t
+}
+
+func clampU(u float64) float64 {
+	if u < 1e-300 {
+		return 1e-300
+	}
+	if u >= 1 {
+		return 1 - 1e-16
+	}
+	return u
+}
+
+// dieLaw holds the per-die conditional path-delay law for the correlated
+// sampler: path delay | die ~ Normal(mu, sigma) × mul.
+type dieLaw struct {
+	mu, sigma, mul float64
+}
+
+// drawDie samples the correlated die-level variation and computes the
+// conditional path-delay law at supply vdd.
+func (dp *Datapath) drawDie(r *rng.Stream, vdd float64) dieLaw {
+	d2d := r.Gauss(0, dp.Node.Var.SigmaVthD2D)
+	mul := math.Exp(r.Gauss(0, dp.Node.Var.SigmaMulD2D))
+	m, v := device.ChainConditionalMoments(dp.Node.Dev, dp.Node.Var, vdd, dp.ChainLen, d2d)
+	return dieLaw{mu: m, sigma: math.Sqrt(v), mul: mul}
+}
+
+// SampleChipDelay draws the chip delay (slowest lane, seconds) of one
+// chip with dp.Lanes lanes plus spares spare lanes, after the spares
+// slowest lanes have been replaced — i.e. the maximum of the dp.Lanes
+// fastest lanes out of dp.Lanes+spares.
+func (dp *Datapath) SampleChipDelay(r *rng.Stream, vdd float64, spares int) float64 {
+	total := dp.Lanes + spares
+	lanes := make([]float64, total)
+	dp.SampleLaneDelays(r, vdd, lanes)
+	if spares == 0 {
+		worst := lanes[0]
+		for _, d := range lanes[1:] {
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	sort.Float64s(lanes)
+	return lanes[dp.Lanes-1]
+}
+
+// ChipDelays runs an n-sample Monte-Carlo of the chip delay at supply
+// vdd with the given spare count. Results are in seconds, in sample
+// order, deterministic for a given seed.
+func (dp *Datapath) ChipDelays(seed uint64, n int, vdd float64, spares int) []float64 {
+	dp.prepare(vdd)
+	return montecarlo.Sample(seed, n, func(r *rng.Stream) float64 {
+		return dp.SampleChipDelay(r, vdd, spares)
+	})
+}
+
+// prepare builds the delay law before parallel sampling so workers only
+// read the cache.
+func (dp *Datapath) prepare(vdd float64) {
+	if dp.Exact {
+		return
+	}
+	switch dp.Corr {
+	case IIDPaths:
+		dp.lawFor(vdd)
+	case Spatial:
+		dp.momentsFor(vdd)
+	}
+}
+
+// ChipDelaysFO4 is ChipDelays normalized to FO4 delay units at vdd.
+func (dp *Datapath) ChipDelaysFO4(seed uint64, n int, vdd float64, spares int) []float64 {
+	ds := dp.ChipDelays(seed, n, vdd, spares)
+	fo4 := dp.FO4(vdd)
+	for i := range ds {
+		ds[i] /= fo4
+	}
+	return ds
+}
+
+// P99ChipDelayFO4 returns the 99 % point of the FO4-normalized chip
+// delay distribution — the paper's operating metric for every
+// architecture-level comparison.
+func (dp *Datapath) P99ChipDelayFO4(seed uint64, n int, vdd float64, spares int) float64 {
+	ds := dp.ChipDelaysFO4(seed, n, vdd, spares)
+	sort.Float64s(ds)
+	return quantileSorted(ds, 0.99)
+}
+
+// LaneDelays draws n independent one-lane samples (the paper's "1-wide"
+// curve in Figure 3), in seconds.
+func (dp *Datapath) LaneDelays(seed uint64, n int, vdd float64) []float64 {
+	dp.prepare(vdd)
+	return montecarlo.Sample(seed, n, func(r *rng.Stream) float64 {
+		var lane [1]float64
+		dp.SampleLaneDelays(r, vdd, lane[:])
+		return lane[0]
+	})
+}
+
+// PathDelays draws n independent single-critical-path samples, in
+// seconds.
+func (dp *Datapath) PathDelays(seed uint64, n int, vdd float64) []float64 {
+	dp.prepare(vdd)
+	return montecarlo.Sample(seed, n, func(r *rng.Stream) float64 {
+		return dp.SamplePathDelay(r, vdd)
+	})
+}
+
+// SpareCurve returns the 99 % FO4 chip delay for each spare count in
+// alphas, reusing one set of lane-delay samples across all counts so the
+// curve is smooth in alpha (no independent MC noise between points).
+// alphas must be non-decreasing ≥ 0.
+func (dp *Datapath) SpareCurve(seed uint64, n int, vdd float64, alphas []int) []float64 {
+	if len(alphas) == 0 {
+		return nil
+	}
+	maxA := alphas[len(alphas)-1]
+	for i := 1; i < len(alphas); i++ {
+		if alphas[i] < alphas[i-1] {
+			panic("simd: SpareCurve alphas must be non-decreasing")
+		}
+	}
+	total := dp.Lanes + maxA
+	dp.prepare(vdd)
+	rows := montecarlo.SampleVec(seed, n, total, func(r *rng.Stream, dst []float64) {
+		dp.SampleLaneDelays(r, vdd, dst)
+	})
+	fo4 := dp.FO4(vdd)
+	out := make([]float64, len(alphas))
+	delays := make([]float64, n)
+	scratch := make([]float64, total)
+	for ai, a := range alphas {
+		k := dp.Lanes + a
+		for i, row := range rows {
+			// The physical system with a spares has exactly Lanes+a
+			// lanes; use the first Lanes+a samples (exchangeable) and
+			// keep the Lanes fastest.
+			copy(scratch[:k], row[:k])
+			sort.Float64s(scratch[:k])
+			delays[i] = scratch[dp.Lanes-1] / fo4
+		}
+		sort.Float64s(delays)
+		out[ai] = quantileSorted(delays, 0.99)
+	}
+	return out
+}
+
+// quantileSorted mirrors stats.QuantileSorted for sorted ascending data;
+// duplicated locally to keep this hot path allocation-free and the
+// package dependency-light.
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	return sorted[i] + (h-float64(i))*(sorted[i+1]-sorted[i])
+}

@@ -1,0 +1,306 @@
+package simd
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+func testPath() *Datapath {
+	// Reduced dimensions keep the exact (gate-level) comparisons fast
+	// while exercising the same code paths as the full 128×100 system.
+	dp := New(tech.N90)
+	dp.Lanes = 16
+	dp.PathsPerLane = 10
+	return dp
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(tech.N90).Validate(); err != nil {
+		t.Errorf("canonical datapath invalid: %v", err)
+	}
+	bad := New(tech.N90)
+	bad.Lanes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero lanes accepted")
+	}
+}
+
+func TestFO4Unit(t *testing.T) {
+	dp := New(tech.N90)
+	if got, want := dp.FO4(0.6), tech.N90.Dev.NominalDelay(0.6); got != want {
+		t.Errorf("FO4 = %v, want %v", got, want)
+	}
+}
+
+// TestFastPathMatchesExactGateLevel is the central sampler validation:
+// the numerical-law path sampler must be statistically indistinguishable
+// from full gate-level Monte Carlo (two-sample KS test at α = 0.01).
+func TestFastPathMatchesExactGateLevel(t *testing.T) {
+	const n = 4000
+	const vdd = 0.55
+	fast := New(tech.N90)
+	exact := New(tech.N90)
+	exact.Exact = true
+	fd := fast.PathDelays(1, n, vdd)
+	ed := exact.PathDelays(2, n, vdd)
+	d := stats.KSStatistic(fd, ed)
+	if crit := stats.KSCritical(n, n, 0.01); d > crit {
+		t.Errorf("fast vs exact path KS = %v > critical %v", d, crit)
+	}
+}
+
+// TestFastLaneMatchesExact validates the lane law (max of paths) against
+// gate-level sampling.
+func TestFastLaneMatchesExact(t *testing.T) {
+	const n = 1500
+	const vdd = 0.6
+	fast := testPath()
+	exact := testPath()
+	exact.Exact = true
+	fd := fast.LaneDelays(3, n, vdd)
+	ed := exact.LaneDelays(4, n, vdd)
+	d := stats.KSStatistic(fd, ed)
+	if crit := stats.KSCritical(n, n, 0.01); d > crit {
+		t.Errorf("fast vs exact lane KS = %v > critical %v", d, crit)
+	}
+}
+
+func TestLaneAboveSinglePath(t *testing.T) {
+	dp := New(tech.N90)
+	const vdd = 0.55
+	paths := dp.PathDelays(5, 3000, vdd)
+	lanes := dp.LaneDelays(6, 3000, vdd)
+	if stats.Mean(lanes) <= stats.Mean(paths) {
+		t.Error("lane (max of 100 paths) must be slower than one path on average")
+	}
+}
+
+func TestChipAboveLane(t *testing.T) {
+	dp := New(tech.N90)
+	const vdd = 0.55
+	lanes := dp.LaneDelays(7, 2000, vdd)
+	chips := dp.ChipDelays(8, 2000, vdd, 0)
+	if stats.Mean(chips) <= stats.Mean(lanes) {
+		t.Error("chip (max of 128 lanes) must be slower than one lane on average")
+	}
+}
+
+func TestChipDelayDeterministic(t *testing.T) {
+	dp := New(tech.N90)
+	a := dp.ChipDelays(9, 200, 0.6, 2)
+	b := dp.ChipDelays(9, 200, 0.6, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ChipDelays not deterministic")
+		}
+	}
+}
+
+func TestSparesReduceP99(t *testing.T) {
+	dp := New(tech.N90)
+	curve := dp.SpareCurve(10, 3000, 0.55, []int{0, 2, 8, 32})
+	for i := 1; i < len(curve); i++ {
+		if curve[i] >= curve[i-1] {
+			t.Errorf("p99 must fall with spares: %v", curve)
+		}
+	}
+}
+
+func TestSpareCurveMatchesChipDelays(t *testing.T) {
+	dp := New(tech.N90)
+	const vdd = 0.6
+	curve := dp.SpareCurve(11, 3000, vdd, []int{0})
+	direct := dp.P99ChipDelayFO4(11, 3000, vdd, 0)
+	if math.Abs(curve[0]-direct)/direct > 1e-9 {
+		t.Errorf("SpareCurve(0) = %v, direct = %v", curve[0], direct)
+	}
+}
+
+func TestSpareCurvePanicsOnDecreasing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for decreasing alphas")
+		}
+	}()
+	New(tech.N90).SpareCurve(1, 10, 0.6, []int{4, 2})
+}
+
+func TestLowerVddSlowerAndWider(t *testing.T) {
+	dp := New(tech.N90)
+	hi := dp.ChipDelaysFO4(12, 2000, 1.0, 0)
+	lo := dp.ChipDelaysFO4(12, 2000, 0.5, 0)
+	// In FO4 units the mean shifts right at low voltage (wider path
+	// distribution pushes the max out).
+	if stats.Mean(lo) <= stats.Mean(hi) {
+		t.Error("low-voltage FO4 chip delay should exceed nominal")
+	}
+	// And in absolute terms low voltage is dramatically slower.
+	if stats.Mean(lo)*dp.FO4(0.5) <= stats.Mean(hi)*dp.FO4(1.0) {
+		t.Error("absolute delay must grow at low voltage")
+	}
+}
+
+func TestCorrelatedModeSparesLessEffective(t *testing.T) {
+	// The ablation result: under die-level correlation, dropping slow
+	// lanes buys much less p99 improvement than under the paper's iid
+	// assumption.
+	iid := New(tech.N90)
+	corr := New(tech.N90)
+	corr.Corr = SharedDie
+	const vdd = 0.55
+	iidCurve := iid.SpareCurve(13, 4000, vdd, []int{0, 16})
+	corrCurve := corr.SpareCurve(13, 4000, vdd, []int{0, 16})
+	iidGain := 1 - iidCurve[1]/iidCurve[0]
+	corrGain := 1 - corrCurve[1]/corrCurve[0]
+	if corrGain >= iidGain {
+		t.Errorf("correlated spare gain %v should be below iid gain %v", corrGain, iidGain)
+	}
+}
+
+func TestCorrelatedFastMatchesCorrelatedExact(t *testing.T) {
+	const n = 1200
+	const vdd = 0.6
+	fast := testPath()
+	fast.Corr = SharedDie
+	exact := testPath()
+	exact.Corr = SharedDie
+	exact.Exact = true
+	fd := fast.ChipDelays(14, n, vdd, 0)
+	ed := exact.ChipDelays(15, n, vdd, 0)
+	d := stats.KSStatistic(fd, ed)
+	if crit := stats.KSCritical(n, n, 0.01); d > crit {
+		t.Errorf("correlated fast vs exact KS = %v > %v", d, crit)
+	}
+}
+
+func TestInvertTable(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	f := []float64{0, 0.25, 0.75, 1}
+	cases := []struct{ u, want float64 }{
+		{0, 0}, {0.25, 1}, {0.5, 1.5}, {1, 3}, {-0.1, 0}, {1.1, 3},
+	}
+	for _, c := range cases {
+		if got := invert(x, f, c.u); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("invert(%v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+func TestP99ConsistentWithSortedSample(t *testing.T) {
+	dp := New(tech.N90)
+	ds := dp.ChipDelaysFO4(16, 2000, 0.6, 0)
+	sort.Float64s(ds)
+	want := stats.QuantileSorted(ds, 0.99)
+	got := dp.P99ChipDelayFO4(16, 2000, 0.6, 0)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("P99 = %v, want %v", got, want)
+	}
+}
+
+func TestSpatialInterpolatesBetweenExtremes(t *testing.T) {
+	// The p99 gain from spares under the spatial model must land between
+	// the iid and shared-die extremes, approaching each at its limit.
+	const vdd = 0.55
+	const n = 3000
+	gain := func(dp *Datapath) float64 {
+		c := dp.SpareCurve(21, n, vdd, []int{0, 16})
+		return 1 - c[1]/c[0]
+	}
+	iid := New(tech.N90)
+	shared := New(tech.N90)
+	shared.Corr = SharedDie
+	short := New(tech.N90)
+	short.Corr = Spatial
+	short.CorrLanes = 0.5
+	long := New(tech.N90)
+	long.Corr = Spatial
+	long.CorrLanes = 1000
+
+	gIID, gShared := gain(iid), gain(shared)
+	gShort, gLong := gain(short), gain(long)
+	if !(gShared < gIID) {
+		t.Fatalf("extremes inverted: shared %v, iid %v", gShared, gIID)
+	}
+	// Long correlation length approaches the shared-die behaviour.
+	if gLong > (gIID+gShared)/2 {
+		t.Errorf("long-correlation gain %v too close to iid %v (shared %v)", gLong, gIID, gShared)
+	}
+	// Short correlation length recovers most of the iid gain.
+	if gShort < gShared {
+		t.Errorf("short-correlation gain %v below shared-die %v", gShort, gShared)
+	}
+	if gShort <= gLong {
+		t.Errorf("gain should fall with correlation length: %v vs %v", gShort, gLong)
+	}
+}
+
+func TestSpatialFastMatchesExact(t *testing.T) {
+	const n = 1200
+	const vdd = 0.6
+	fast := testPath()
+	fast.Corr = Spatial
+	fast.CorrLanes = 4
+	exact := testPath()
+	exact.Corr = Spatial
+	exact.CorrLanes = 4
+	exact.Exact = true
+	fd := fast.ChipDelays(22, n, vdd, 0)
+	ed := exact.ChipDelays(23, n, vdd, 0)
+	d := stats.KSStatistic(fd, ed)
+	if crit := stats.KSCritical(n, n, 0.01); d > crit {
+		t.Errorf("spatial fast vs exact KS = %v > %v", d, crit)
+	}
+}
+
+func TestSpatialNeighborCorrelation(t *testing.T) {
+	// Adjacent lanes must correlate more strongly than distant lanes.
+	dp := New(tech.N90)
+	dp.Corr = Spatial
+	dp.CorrLanes = 8
+	const n = 4000
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dp.Lanes)
+	}
+	for i := 0; i < n; i++ {
+		dp.SampleLaneDelays(rngFor(uint64(i)), 0.55, rows[i])
+	}
+	corrAt := func(d int) float64 {
+		var x, y []float64
+		for _, row := range rows {
+			x = append(x, row[0])
+			y = append(y, row[d])
+		}
+		mx, my := stats.Mean(x), stats.Mean(y)
+		var cov, vx, vy float64
+		for i := range x {
+			cov += (x[i] - mx) * (y[i] - my)
+			vx += (x[i] - mx) * (x[i] - mx)
+			vy += (y[i] - my) * (y[i] - my)
+		}
+		return cov / math.Sqrt(vx*vy)
+	}
+	near, far := corrAt(1), corrAt(100)
+	if near <= far+0.05 {
+		t.Errorf("lane-1 correlation %v not above lane-100 correlation %v", near, far)
+	}
+	if near < 0.2 {
+		t.Errorf("adjacent-lane correlation %v too weak for CorrLanes=8", near)
+	}
+}
+
+func TestCorrelationModelString(t *testing.T) {
+	for _, c := range []CorrelationModel{IIDPaths, SharedDie, Spatial, CorrelationModel(9)} {
+		if c.String() == "" {
+			t.Error("empty model name")
+		}
+	}
+}
+
+// rngFor returns a deterministic stream for test sample i.
+func rngFor(i uint64) *rng.Stream { return rng.NewSub(777, int(i)) }

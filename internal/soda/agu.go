@@ -1,0 +1,124 @@
+package soda
+
+import "fmt"
+
+// AGU models one of the four address-generation-unit pipelines of the
+// Diet SODA PE (Appendix B, block 6): each SIMD memory bank has a
+// dedicated AGU holding a current row pointer and a post-increment
+// stride, so the four banks can stream different rows — the mechanism
+// behind two-dimensional block access.
+type AGU struct {
+	Row    int // current row pointer
+	Stride int // post-increment applied after each banked access
+}
+
+// aguCount is one AGU per memory bank.
+const aguCount = Banks
+
+// The AGU-related opcodes extend the scalar ISA (they execute in the
+// full-voltage domain alongside the memory system).
+const (
+	// SAGU b: configure AGU b (Imm) from scalar registers: row ← S[A],
+	// stride ← S[B].
+	SAGU Opcode = iota + 96
+	// VLOADB Vd: banked vector load; bank b supplies its 32 lanes from
+	// its own AGU's current row, then every AGU post-increments.
+	VLOADB
+	// VSTOREB Vs: banked vector store, the symmetric write.
+	VSTOREB
+)
+
+// ReadRowPerBank reads lane groups from per-bank rows: bank b supplies
+// dst[b·32 … b·32+31] from rows[b].
+func (m *SIMDMemory) ReadRowPerBank(rows [Banks]int, dst []uint16) error {
+	if len(dst) != Lanes {
+		return fmt.Errorf("soda: ReadRowPerBank dst length %d, want %d", len(dst), Lanes)
+	}
+	for b := 0; b < Banks; b++ {
+		if err := checkRow(rows[b]); err != nil {
+			return fmt.Errorf("bank %d: %w", b, err)
+		}
+	}
+	for b := 0; b < Banks; b++ {
+		copy(dst[b*BankLanes:(b+1)*BankLanes], m.banks[b][rows[b]][:])
+	}
+	m.rowReads++
+	return nil
+}
+
+// WriteRowPerBank writes lane groups to per-bank rows.
+func (m *SIMDMemory) WriteRowPerBank(rows [Banks]int, src []uint16) error {
+	if len(src) != Lanes {
+		return fmt.Errorf("soda: WriteRowPerBank src length %d, want %d", len(src), Lanes)
+	}
+	for b := 0; b < Banks; b++ {
+		if err := checkRow(rows[b]); err != nil {
+			return fmt.Errorf("bank %d: %w", b, err)
+		}
+	}
+	for b := 0; b < Banks; b++ {
+		copy(m.banks[b][rows[b]][:], src[b*BankLanes:(b+1)*BankLanes])
+	}
+	m.rowWrites++
+	return nil
+}
+
+// execAGU handles the AGU opcode family; called from the PE dispatcher.
+// It returns the cycle cost.
+func (pe *PE) execAGU(in Instruction) (int, error) {
+	mem := pe.Clock.memCycles()
+	switch in.Op {
+	case SAGU:
+		if in.Imm < 0 || in.Imm >= aguCount {
+			return 0, fmt.Errorf("sagu unit %d outside [0, %d)", in.Imm, aguCount)
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, err
+		}
+		if err := checkSReg(in.B); err != nil {
+			return 0, err
+		}
+		pe.AGUs[in.Imm] = AGU{
+			Row:    int(pe.SRF[in.A]),
+			Stride: int(int16(pe.SRF[in.B])),
+		}
+		return 1, nil
+	case VLOADB:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		var rows [Banks]int
+		for b := range rows {
+			rows[b] = pe.AGUs[b].Row
+		}
+		if err := pe.Mem.ReadRowPerBank(rows, pe.VRF[in.Dst][:]); err != nil {
+			return 0, err
+		}
+		pe.bumpAGUs()
+		pe.Stats.MemRowOps++
+		return mem, nil
+	case VSTOREB:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		var rows [Banks]int
+		for b := range rows {
+			rows[b] = pe.AGUs[b].Row
+		}
+		if err := pe.Mem.WriteRowPerBank(rows, pe.VRF[in.Dst][:]); err != nil {
+			return 0, err
+		}
+		pe.bumpAGUs()
+		pe.Stats.MemRowOps++
+		return mem, nil
+	default:
+		return 0, fmt.Errorf("unimplemented AGU opcode %s", in.Op)
+	}
+}
+
+// bumpAGUs applies every AGU's post-increment.
+func (pe *PE) bumpAGUs() {
+	for b := range pe.AGUs {
+		pe.AGUs[b].Row += pe.AGUs[b].Stride
+	}
+}

@@ -1,0 +1,164 @@
+package soda
+
+import "testing"
+
+func TestReadRowPerBank(t *testing.T) {
+	m := NewSIMDMemory()
+	// Bank b, row 10+b holds value 100+b in every lane.
+	for b := 0; b < Banks; b++ {
+		full := make([]uint16, Lanes)
+		for i := range full {
+			full[i] = uint16(100 + b)
+		}
+		if err := m.WriteRow(10+b, full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]uint16, Lanes)
+	if err := m.ReadRowPerBank([Banks]int{10, 11, 12, 13}, dst); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < Banks; b++ {
+		if dst[b*BankLanes] != uint16(100+b) {
+			t.Errorf("bank %d lane group = %d", b, dst[b*BankLanes])
+		}
+	}
+	if err := m.ReadRowPerBank([Banks]int{0, 0, 0, 999}, dst); err == nil {
+		t.Error("bad per-bank row accepted")
+	}
+	if err := m.ReadRowPerBank([Banks]int{0, 0, 0, 0}, make([]uint16, 3)); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+func TestWriteRowPerBank(t *testing.T) {
+	m := NewSIMDMemory()
+	src := make([]uint16, Lanes)
+	for i := range src {
+		src[i] = uint16(i)
+	}
+	if err := m.WriteRowPerBank([Banks]int{5, 6, 7, 8}, src); err != nil {
+		t.Fatal(err)
+	}
+	// Bank 2's group landed in row 7.
+	row := make([]uint16, Lanes)
+	if err := m.ReadRow(7, row); err != nil {
+		t.Fatal(err)
+	}
+	if row[2*BankLanes] != uint16(2*BankLanes) {
+		t.Errorf("bank 2 write misplaced: %d", row[2*BankLanes])
+	}
+	if err := m.WriteRowPerBank([Banks]int{-1, 0, 0, 0}, src); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+func TestSAGUAndVLOADB(t *testing.T) {
+	pe := NewPE()
+	// Stage a 4-row "tile": row r holds value r in every lane.
+	for r := 20; r < 28; r++ {
+		full := make([]uint16, Lanes)
+		for i := range full {
+			full[i] = uint16(r)
+		}
+		if err := pe.Mem.WriteRow(r, full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// AGU b starts at row 20+b with stride 4: a column-of-rows walk.
+	b := NewBuilder()
+	b.SLi(1, 20).SLi(2, 4)
+	for u := 0; u < Banks; u++ {
+		b.SAddI(3, 1, u) // s3 = 20+u
+		b.Emit(Instruction{Op: SAGU, A: 3, B: 2, Imm: u})
+	}
+	b.Emit(Instruction{Op: VLOADB, Dst: 0}).
+		Emit(Instruction{Op: VLOADB, Dst: 1}).
+		Halt()
+	if err := pe.Run(b.MustProgram(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	// First load: bank b read row 20+b.
+	for u := 0; u < Banks; u++ {
+		if got := pe.VRF[0][u*BankLanes]; got != uint16(20+u) {
+			t.Errorf("load1 bank %d = %d, want %d", u, got, 20+u)
+		}
+	}
+	// Second load: post-incremented rows 24+b.
+	for u := 0; u < Banks; u++ {
+		if got := pe.VRF[1][u*BankLanes]; got != uint16(24+u) {
+			t.Errorf("load2 bank %d = %d, want %d", u, got, 24+u)
+		}
+	}
+	if pe.Stats.MemRowOps != 2 {
+		t.Errorf("mem row ops = %d", pe.Stats.MemRowOps)
+	}
+}
+
+func TestVSTOREBRoundTrip(t *testing.T) {
+	pe := NewPE()
+	for l := 0; l < Lanes; l++ {
+		pe.VRF[5][l] = uint16(l * 3)
+	}
+	b := NewBuilder()
+	b.SLi(1, 40).SLi(2, 0)
+	for u := 0; u < Banks; u++ {
+		b.SAddI(3, 1, u*2) // rows 40, 42, 44, 46
+		b.Emit(Instruction{Op: SAGU, A: 3, B: 2, Imm: u})
+	}
+	b.Emit(Instruction{Op: VSTOREB, Dst: 5}).Halt()
+	if err := pe.Run(b.MustProgram(), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Bank 1's group is in row 42, lanes 32..63.
+	row := make([]uint16, Lanes)
+	if err := pe.Mem.ReadRow(42, row); err != nil {
+		t.Fatal(err)
+	}
+	if row[BankLanes] != uint16(BankLanes*3) {
+		t.Errorf("banked store misplaced: %d", row[BankLanes])
+	}
+}
+
+func TestSAGUValidation(t *testing.T) {
+	pe := NewPE()
+	bad := []Instruction{{Op: SAGU, A: 0, B: 0, Imm: 9}}
+	if err := pe.Run(bad, 10); err == nil {
+		t.Error("bad AGU index accepted")
+	}
+	bad = []Instruction{{Op: SAGU, A: 20, B: 0, Imm: 0}}
+	if err := pe.Run(bad, 10); err == nil {
+		t.Error("bad scalar register accepted")
+	}
+	// VLOADB with an AGU row out of range must fail at access time.
+	pe = NewPE()
+	pe.AGUs[0] = AGU{Row: 999}
+	if err := pe.Run([]Instruction{{Op: VLOADB, Dst: 0}}, 10); err == nil {
+		t.Error("out-of-range AGU row accepted")
+	}
+}
+
+func TestAGUDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: SAGU, A: 1, B: 2, Imm: 3}, "sagu 3, s1, s2"},
+		{Instruction{Op: VLOADB, Dst: 4}, "vloadb v4"},
+		{Instruction{Op: VSTOREB, Dst: 5}, "vstoreb v5"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestResetClearsAGUs(t *testing.T) {
+	pe := NewPE()
+	pe.AGUs[2] = AGU{Row: 7, Stride: 3}
+	pe.Reset()
+	if pe.AGUs[2] != (AGU{}) {
+		t.Error("Reset left AGU state")
+	}
+}

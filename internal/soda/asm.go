@@ -1,0 +1,129 @@
+package soda
+
+import "fmt"
+
+// Builder assembles programs with symbolic labels, so kernels read like
+// assembly listings. Branch targets may be referenced before they are
+// defined; Program resolves them and reports dangling labels.
+type Builder struct {
+	ins    []Instruction
+	labels map[string]int
+	fixups map[int]string // instruction index → unresolved label
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("soda: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.ins)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instruction) *Builder {
+	b.ins = append(b.ins, in)
+	return b
+}
+
+// V3 emits a three-register vector instruction (vadd, vmul, …).
+func (b *Builder) V3(op Opcode, dst, a, c int) *Builder {
+	return b.Emit(Instruction{Op: op, Dst: dst, A: a, B: c})
+}
+
+// VImm emits a vector instruction with an immediate (shifts, vshuf,
+// vredgrp).
+func (b *Builder) VImm(op Opcode, dst, a, imm int) *Builder {
+	return b.Emit(Instruction{Op: op, Dst: dst, A: a, Imm: imm})
+}
+
+// VLoad emits vload vd, (sa).
+func (b *Builder) VLoad(vd, sa int) *Builder {
+	return b.Emit(Instruction{Op: VLOAD, Dst: vd, A: sa})
+}
+
+// VStore emits vstore vs, (sa).
+func (b *Builder) VStore(vs, sa int) *Builder {
+	return b.Emit(Instruction{Op: VSTORE, Dst: vs, A: sa})
+}
+
+// VBcast emits vbcast vd, sa.
+func (b *Builder) VBcast(vd, sa int) *Builder {
+	return b.Emit(Instruction{Op: VBCAST, Dst: vd, A: sa})
+}
+
+// VRedSum emits vredsum sd, va.
+func (b *Builder) VRedSum(sd, va int) *Builder {
+	return b.Emit(Instruction{Op: VREDSUM, Dst: sd, A: va})
+}
+
+// SLi emits sli sd, imm.
+func (b *Builder) SLi(sd, imm int) *Builder {
+	return b.Emit(Instruction{Op: SLI, Dst: sd, Imm: imm})
+}
+
+// S3 emits a three-register scalar instruction.
+func (b *Builder) S3(op Opcode, dst, a, c int) *Builder {
+	return b.Emit(Instruction{Op: op, Dst: dst, A: a, B: c})
+}
+
+// SAddI emits saddi sd, sa, imm.
+func (b *Builder) SAddI(sd, sa, imm int) *Builder {
+	return b.Emit(Instruction{Op: SADDI, Dst: sd, A: sa, Imm: imm})
+}
+
+// SLoad emits sld sd, (sa+imm).
+func (b *Builder) SLoad(sd, sa, imm int) *Builder {
+	return b.Emit(Instruction{Op: SLD, Dst: sd, A: sa, Imm: imm})
+}
+
+// SStore emits sst ss, (sa+imm).
+func (b *Builder) SStore(ss, sa, imm int) *Builder {
+	return b.Emit(Instruction{Op: SST, Dst: ss, A: sa, Imm: imm})
+}
+
+// Branch emits bne/blt sa, sb, label.
+func (b *Builder) Branch(op Opcode, sa, sb int, label string) *Builder {
+	b.fixups[len(b.ins)] = label
+	return b.Emit(Instruction{Op: op, A: sa, B: sb})
+}
+
+// Jmp emits jmp label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups[len(b.ins)] = label
+	return b.Emit(Instruction{Op: JMP})
+}
+
+// Halt emits halt.
+func (b *Builder) Halt() *Builder { return b.Emit(Instruction{Op: HALT}) }
+
+// Program resolves labels and returns the finished instruction slice.
+func (b *Builder) Program() ([]Instruction, error) {
+	out := append([]Instruction(nil), b.ins...)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("soda: undefined label %q at instruction %d", label, idx)
+		}
+		out[idx].Imm = target
+	}
+	return out, nil
+}
+
+// MustProgram is Program panicking on unresolved labels; for use in
+// statically known-correct kernels.
+func (b *Builder) MustProgram() []Instruction {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,104 @@
+package soda
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder()
+	b.SLi(1, 0).
+		Label("top").
+		SAddI(1, 1, 1).
+		SLi(2, 5).
+		Branch(BNE, 1, 2, "top").
+		Halt()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch (index 3) must point at instruction index 1 ("top").
+	if prog[3].Imm != 1 {
+		t.Errorf("branch target = %d, want 1", prog[3].Imm)
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("end").SLi(1, 9).Label("end").Halt()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Imm != 2 {
+		t.Errorf("forward jump target = %d, want 2", prog[0].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere").Halt()
+	if _, err := b.Program(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram should panic on undefined label")
+		}
+	}()
+	b.MustProgram()
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label should panic")
+		}
+	}()
+	NewBuilder().Label("x").Label("x")
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: VADD, Dst: 1, A: 2, B: 3}, "vadd v1, v2, v3"},
+		{Instruction{Op: VLOAD, Dst: 0, A: 4}, "vload v0, (s4)"},
+		{Instruction{Op: VSTORE, Dst: 2, A: 5}, "vstore v2, (s5)"},
+		{Instruction{Op: VSRA, Dst: 1, A: 1, Imm: 8}, "vsra v1, v1, 8"},
+		{Instruction{Op: VBCAST, Dst: 3, A: 2}, "vbcast v3, s2"},
+		{Instruction{Op: VGATHER, Dst: 0, A: 1, B: 2}, "vgather v0, s1, s2"},
+		{Instruction{Op: VREDSUM, Dst: 7, A: 0}, "vredsum s7, v0"},
+		{Instruction{Op: SLI, Dst: 1, Imm: 42}, "sli s1, 42"},
+		{Instruction{Op: SADDI, Dst: 1, A: 2, Imm: -1}, "saddi s1, s2, -1"},
+		{Instruction{Op: SLD, Dst: 1, A: 2, Imm: 3}, "sld s1, (s2+3)"},
+		{Instruction{Op: BNE, A: 1, B: 2, Imm: 7}, "bne s1, s2, @7"},
+		{Instruction{Op: JMP, Imm: 4}, "jmp @4"},
+		{Instruction{Op: HALT}, "halt"},
+		{Instruction{Op: SADD, Dst: 0, A: 1, B: 2}, "sadd s0, s1, s2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	vector := []Opcode{VLOAD, VSTORE, VADD, VMAC, VSHUF, VREDSUM, VGATHER}
+	scalar := []Opcode{SLI, SADD, BNE, JMP, HALT, NOP}
+	for _, op := range vector {
+		if !op.IsVector() {
+			t.Errorf("%v should be vector", op)
+		}
+	}
+	for _, op := range scalar {
+		if op.IsVector() {
+			t.Errorf("%v should be scalar", op)
+		}
+	}
+	if !strings.Contains(Opcode(999).String(), "999") {
+		t.Error("unknown opcode should render its number")
+	}
+}

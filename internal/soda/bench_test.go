@@ -1,0 +1,52 @@
+package soda
+
+import (
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func benchKernel(b *testing.B, k Kernel) {
+	b.Helper()
+	pe := NewPE()
+	if err := k.Setup(pe); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe.Reset()
+		if err := pe.Run(k.Program, DefaultCycleBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := k.Check(pe); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFIR8(b *testing.B) {
+	r := rng.New(1)
+	benchKernel(b, FIRKernel(randVec(r, Lanes, 256), []int16{1, 2, 3, 4, 5, 6, 7, 8}))
+}
+
+func BenchmarkDot16Rows(b *testing.B) {
+	r := rng.New(2)
+	benchKernel(b, DotProductKernel(randVec(r, 16*Lanes, 512), randVec(r, 16*Lanes, 512)))
+}
+
+func BenchmarkYCbCr(b *testing.B) {
+	r := rng.New(3)
+	benchKernel(b, RGBToYCbCrKernel(randVec(r, Lanes, 256), randVec(r, Lanes, 256), randVec(r, Lanes, 256)))
+}
+
+func BenchmarkVectorAdd(b *testing.B) {
+	pe := NewPE()
+	prog := []Instruction{{Op: VADD, Dst: 0, A: 1, B: 2}, {Op: HALT}}
+	for i := 0; i < b.N; i++ {
+		pe.Reset()
+		if err := pe.Run(prog, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

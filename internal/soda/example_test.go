@@ -1,0 +1,69 @@
+package soda_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ntvsim/ntvsim/internal/soda"
+)
+
+// Example assembles a scalar loop from text and runs it on a PE.
+func Example() {
+	prog, err := soda.Assemble(`
+		; sum the numbers 1..100
+		sli s1, 0        ; accumulator
+		sli s2, 0        ; i
+		sli s3, 100      ; limit
+	loop:
+		saddi s2, s2, 1
+		sadd s1, s1, s2
+		bne s2, s3, loop
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pe := soda.NewPE()
+	if err := pe.Run(prog, 10000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sum =", pe.SRF[1])
+	// Output: sum = 5050
+}
+
+// ExampleAssemble shows a vector program: broadcast, lane-wise multiply
+// and an adder-tree reduction.
+func ExampleAssemble() {
+	prog, err := soda.Assemble(`
+		sli s1, 3
+		vbcast v0, s1    ; all 128 lanes = 3
+		vmul v1, v0, v0  ; lanes = 9
+		vredsum s2, v1   ; adder tree
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pe := soda.NewPE()
+	if err := pe.Run(prog, 100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sum =", pe.SRF[2]) // 9 × 128 lanes
+	// Output: sum = 1152
+}
+
+// ExampleRunKernel executes a built-in verified kernel.
+func ExampleRunKernel() {
+	x := make([]uint16, soda.Lanes)
+	for i := range x {
+		x[i] = uint16(i)
+	}
+	k := soda.FIRKernel(x, []int16{1, 2, 1})
+	pe := soda.NewPE()
+	if err := soda.RunKernel(pe, k); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d cycles, %d shuffle routes\n",
+		k.Name, pe.Stats.Cycles, pe.Stats.SSNRoutes)
+	// Output: fir-3tap: 23 cycles, 3 shuffle routes
+}

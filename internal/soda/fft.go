@@ -1,0 +1,231 @@
+package soda
+
+import (
+	"fmt"
+	"math"
+)
+
+// FFT kernel: a 128-point radix-2 decimation-in-frequency complex FFT
+// in Q6 fixed point, the canonical SODA-class signal workload. Every
+// butterfly stage is expressed with the machine's real resources:
+//
+//   - the partner operand comes through the SSN with an XOR-mask
+//     shuffle configuration (one slot per stage);
+//   - the add/twiddle split between the low and high half of each
+//     butterfly block is implemented with a preloaded 0/1 mask row and
+//     VSEL;
+//   - twiddle factors are preloaded memory rows (Q6), applied with
+//     VMUL/VSRA complex arithmetic;
+//   - the final bit-reversal is one more SSN configuration.
+//
+// Dynamic range: values grow by up to 2× per stage and the Q6 products
+// must stay within int16, so inputs are validated to |x| ≤ fftMaxIn.
+// The kernel's Check replays the identical wrapping integer arithmetic
+// lane by lane; TestFFTMatchesDFT additionally verifies the output
+// against a floating-point DFT within quantization tolerance.
+
+const (
+	fftStages = 7 // log2(128)
+	fftQ      = 6 // twiddle fixed-point fraction bits
+	fftOne    = 1 << fftQ
+	// fftMaxIn bounds inputs so no intermediate Q6 product overflows:
+	// |x| ≤ 3 grows to ≤ 3·2^7 = 384 and 384·64 = 24576 < 32767.
+	fftMaxIn = 3
+
+	// Memory layout (rows).
+	fftReIn   = 0
+	fftImIn   = 1
+	fftReOut  = 8
+	fftImOut  = 9
+	fftMaskLo = 100 // 7 rows: stage masks
+	fftWr     = 110 // 7 rows: twiddle real parts
+	fftWi     = 120 // 7 rows: twiddle imaginary parts
+
+	// SSN slots.
+	fftSlotStage0 = 0 // …+s for stage s partner shuffles
+	fftSlotBitrev = 7
+)
+
+// fftStageM returns the butterfly half-distance of stage s (DIF order:
+// stage 0 pairs lanes 64 apart, stage 6 adjacent lanes).
+func fftStageM(s int) int { return 64 >> s }
+
+// fftTwiddles returns the Q6 twiddle rows for the stage with
+// half-distance m: low lanes get the identity (1 + 0i), high lanes get
+// W = exp(−iπ·t/m) with t the offset within the half-block.
+func fftTwiddles(m int) (wr, wi [Lanes]uint16) {
+	for j := 0; j < Lanes; j++ {
+		if j&m == 0 {
+			wr[j] = fftOne
+			continue
+		}
+		t := j & (m - 1)
+		ang := -math.Pi * float64(t) / float64(m)
+		wr[j] = uint16(int16(math.Round(fftOne * math.Cos(ang))))
+		wi[j] = uint16(int16(math.Round(fftOne * math.Sin(ang))))
+	}
+	return wr, wi
+}
+
+// fftXorConfig builds the SSN configuration out[j] = in[j ^ m].
+func fftXorConfig(m int) []int {
+	cfg := make([]int, Lanes)
+	for j := range cfg {
+		cfg[j] = j ^ m
+	}
+	return cfg
+}
+
+// fftBitrevConfig builds the 7-bit bit-reversal permutation.
+func fftBitrevConfig() []int {
+	cfg := make([]int, Lanes)
+	for j := range cfg {
+		r := 0
+		for b := 0; b < fftStages; b++ {
+			r = r<<1 | (j>>b)&1
+		}
+		cfg[j] = r
+	}
+	return cfg
+}
+
+// FFTKernel builds the 128-point FFT of the complex input (re, im).
+// Inputs must satisfy |x| ≤ fftMaxIn as signed 16-bit values.
+func FFTKernel(re, im []int16) Kernel {
+	if len(re) != Lanes || len(im) != Lanes {
+		panic("soda: FFTKernel needs 128-point complex input")
+	}
+	for i := range re {
+		if re[i] < -fftMaxIn || re[i] > fftMaxIn || im[i] < -fftMaxIn || im[i] > fftMaxIn {
+			panic(fmt.Sprintf("soda: FFTKernel input %d out of range ±%d", i, fftMaxIn))
+		}
+	}
+
+	bld := NewBuilder()
+	bld.SLi(1, fftReIn).VLoad(0, 1). // v0 = re
+						SLi(1, fftImIn).VLoad(1, 1).   // v1 = im
+						SLi(2, fftOne/2).VBcast(16, 2) // v16 = rounding constant
+	for s := 0; s < fftStages; s++ {
+		bld.SLi(1, fftMaskLo+s).VLoad(2, 1). // v2 = low-half mask
+							SLi(1, fftWr+s).VLoad(3, 1).        // v3 = twiddle re
+							SLi(1, fftWi+s).VLoad(4, 1).        // v4 = twiddle im
+							VImm(VSHUF, 5, 0, fftSlotStage0+s). // v5 = re partner
+							VImm(VSHUF, 6, 1, fftSlotStage0+s). // v6 = im partner
+							V3(VADD, 7, 0, 5).                  // v7 = re sum (valid on low lanes)
+							V3(VSUB, 8, 5, 0).                  // v8 = re diff (partner−self: A−B on high lanes)
+							V3(VADD, 9, 1, 6).                  // v9 = im sum
+							V3(VSUB, 10, 6, 1).                 // v10 = im diff
+							V3(VMUL, 11, 8, 3).                 // dre·wr
+							V3(VMUL, 12, 10, 4).                // dim·wi
+							V3(VSUB, 11, 11, 12).
+							V3(VADD, 11, 11, 16).     // round to nearest before the shift
+							VImm(VSRA, 11, 11, fftQ). // v11 = twiddled re
+							V3(VMUL, 12, 8, 4).       // dre·wi
+							V3(VMUL, 13, 10, 3).      // dim·wr
+							V3(VADD, 12, 12, 13).
+							V3(VADD, 12, 12, 16).
+							VImm(VSRA, 12, 12, fftQ). // v12 = twiddled im
+							V3(VOR, 14, 2, 2).        // flags ← mask
+							V3(VSEL, 14, 7, 11).      // v14 = mask ? sum : twiddled (re)
+							V3(VOR, 15, 2, 2).
+							V3(VSEL, 15, 9, 12). // v15 = (im)
+							V3(VOR, 0, 14, 14).
+							V3(VOR, 1, 15, 15)
+	}
+	// Bit-reverse to natural order and store.
+	bld.VImm(VSHUF, 0, 0, fftSlotBitrev).
+		VImm(VSHUF, 1, 1, fftSlotBitrev).
+		SLi(1, fftReOut).VStore(0, 1).
+		SLi(1, fftImOut).VStore(1, 1).
+		Halt()
+
+	return Kernel{
+		Name:    "fft-128",
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			reRow := make([]uint16, Lanes)
+			imRow := make([]uint16, Lanes)
+			for i := range re {
+				reRow[i] = uint16(re[i])
+				imRow[i] = uint16(im[i])
+			}
+			if err := pe.Mem.WriteRow(fftReIn, reRow); err != nil {
+				return err
+			}
+			if err := pe.Mem.WriteRow(fftImIn, imRow); err != nil {
+				return err
+			}
+			for s := 0; s < fftStages; s++ {
+				m := fftStageM(s)
+				var mask [Lanes]uint16
+				for j := range mask {
+					if j&m == 0 {
+						mask[j] = 1
+					}
+				}
+				if err := pe.Mem.WriteRow(fftMaskLo+s, mask[:]); err != nil {
+					return err
+				}
+				wr, wi := fftTwiddles(m)
+				if err := pe.Mem.WriteRow(fftWr+s, wr[:]); err != nil {
+					return err
+				}
+				if err := pe.Mem.WriteRow(fftWi+s, wi[:]); err != nil {
+					return err
+				}
+				if err := pe.SSN.Store(fftSlotStage0+s, fftXorConfig(m)); err != nil {
+					return err
+				}
+			}
+			return pe.SSN.Store(fftSlotBitrev, fftBitrevConfig())
+		},
+		Check: func(pe *PE) error {
+			wantRe, wantIm := fftGolden(re, im)
+			if err := expectRow(pe, fftReOut, wantRe); err != nil {
+				return fmt.Errorf("re: %w", err)
+			}
+			if err := expectRow(pe, fftImOut, wantIm); err != nil {
+				return fmt.Errorf("im: %w", err)
+			}
+			return nil
+		},
+	}
+}
+
+// fftGolden replays the kernel's integer arithmetic lane by lane — the
+// same wrapping 16-bit operations the PE performs — so Check is exact.
+func fftGolden(re, im []int16) (outRe, outIm []uint16) {
+	r := make([]int16, Lanes)
+	m16 := make([]int16, Lanes)
+	copy(r, re)
+	copy(m16, im)
+	for s := 0; s < fftStages; s++ {
+		m := fftStageM(s)
+		wr, wi := fftTwiddles(m)
+		nr := make([]int16, Lanes)
+		ni := make([]int16, Lanes)
+		for j := 0; j < Lanes; j++ {
+			p := j ^ m
+			if j&m == 0 {
+				nr[j] = r[j] + r[p]
+				ni[j] = m16[j] + m16[p]
+			} else {
+				dre := r[p] - r[j]
+				dim := m16[p] - m16[j]
+				twr, twi := int16(wr[j]), int16(wi[j])
+				nr[j] = (dre*twr - dim*twi + fftOne/2) >> fftQ
+				ni[j] = (dre*twi + dim*twr + fftOne/2) >> fftQ
+			}
+		}
+		copy(r, nr)
+		copy(m16, ni)
+	}
+	outRe = make([]uint16, Lanes)
+	outIm = make([]uint16, Lanes)
+	cfg := fftBitrevConfig()
+	for j := 0; j < Lanes; j++ {
+		outRe[j] = uint16(r[cfg[j]])
+		outIm[j] = uint16(m16[cfg[j]])
+	}
+	return outRe, outIm
+}

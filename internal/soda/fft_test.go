@@ -1,0 +1,164 @@
+package soda
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func randFFTInput(seed uint64) (re, im []int16) {
+	r := rng.New(seed)
+	re = make([]int16, Lanes)
+	im = make([]int16, Lanes)
+	for i := range re {
+		re[i] = int16(r.IntN(2*fftMaxIn+1) - fftMaxIn)
+		im[i] = int16(r.IntN(2*fftMaxIn+1) - fftMaxIn)
+	}
+	return re, im
+}
+
+func TestFFTKernelRunsAndChecks(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		re, im := randFFTInput(seed)
+		pe := NewPE()
+		if err := RunKernel(pe, FFTKernel(re, im)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pe.Stats.SSNRoutes < fftStages*2 {
+			t.Errorf("FFT should route the SSN every stage: %d routes", pe.Stats.SSNRoutes)
+		}
+	}
+}
+
+// TestFFTMatchesDFT verifies the kernel output against a floating-point
+// DFT. The Q6 twiddles and per-stage truncation accumulate bounded
+// error: with |x| ≤ 3 the worst observed deviation is a few LSB per
+// output; we allow a generous but meaningful bound.
+func TestFFTMatchesDFT(t *testing.T) {
+	re, im := randFFTInput(42)
+	pe := NewPE()
+	if err := RunKernel(pe, FFTKernel(re, im)); err != nil {
+		t.Fatal(err)
+	}
+	var gotRe, gotIm [Lanes]uint16
+	if err := pe.Mem.ReadRow(fftReOut, gotRe[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Mem.ReadRow(fftImOut, gotIm[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Reference DFT.
+	var worst float64
+	for k := 0; k < Lanes; k++ {
+		var acc complex128
+		for n := 0; n < Lanes; n++ {
+			w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(n)/Lanes))
+			acc += complex(float64(re[n]), float64(im[n])) * w
+		}
+		dr := float64(int16(gotRe[k])) - real(acc)
+		di := float64(int16(gotIm[k])) - imag(acc)
+		if e := math.Hypot(dr, di); e > worst {
+			worst = e
+		}
+	}
+	// Error bound: ≲2 LSB per stage accumulated over 7 stages relative
+	// to outputs of magnitude up to ~384.
+	if worst > 20 {
+		t.Errorf("worst FFT deviation %v vs float DFT (bound 20)", worst)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// δ at lane 0 with amplitude 3: X[k] ≈ 3 for all k (flat spectrum).
+	re := make([]int16, Lanes)
+	im := make([]int16, Lanes)
+	re[0] = 3
+	pe := NewPE()
+	if err := RunKernel(pe, FFTKernel(re, im)); err != nil {
+		t.Fatal(err)
+	}
+	var out [Lanes]uint16
+	if err := pe.Mem.ReadRow(fftReOut, out[:]); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < Lanes; k++ {
+		if v := int16(out[k]); v < 0 || v > 4 {
+			t.Fatalf("impulse spectrum lane %d = %d, want ≈3", k, v)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	// FFT(2x) over small inputs should be ≈ 2·FFT(x); quantization noise
+	// does not scale linearly, so the bound is a few amplified LSB.
+	re, im := randFFTInput(7)
+	for i := range re {
+		re[i] = int16(int(re[i]) / 3) // keep 2x within range
+		im[i] = int16(int(im[i]) / 3)
+	}
+	run := func(scale int16) ([]uint16, []uint16) {
+		r2 := make([]int16, Lanes)
+		i2 := make([]int16, Lanes)
+		for i := range re {
+			r2[i] = re[i] * scale
+			i2[i] = im[i] * scale
+		}
+		pe := NewPE()
+		if err := RunKernel(pe, FFTKernel(r2, i2)); err != nil {
+			t.Fatal(err)
+		}
+		var gr, gi [Lanes]uint16
+		if err := pe.Mem.ReadRow(fftReOut, gr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := pe.Mem.ReadRow(fftImOut, gi[:]); err != nil {
+			t.Fatal(err)
+		}
+		return gr[:], gi[:]
+	}
+	r1, i1 := run(1)
+	r2, i2 := run(2)
+	for k := 0; k < Lanes; k++ {
+		if d := math.Abs(float64(int16(r2[k])) - 2*float64(int16(r1[k]))); d > 25 {
+			t.Fatalf("linearity violated at lane %d re: %v", k, d)
+		}
+		if d := math.Abs(float64(int16(i2[k])) - 2*float64(int16(i1[k]))); d > 25 {
+			t.Fatalf("linearity violated at lane %d im: %v", k, d)
+		}
+	}
+}
+
+func TestFFTInputValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized FFT input accepted")
+		}
+	}()
+	re := make([]int16, Lanes)
+	re[5] = fftMaxIn + 1
+	FFTKernel(re, make([]int16, Lanes))
+}
+
+func TestFFTBitrevInvolution(t *testing.T) {
+	cfg := fftBitrevConfig()
+	for j, r := range cfg {
+		if cfg[r] != j {
+			t.Fatalf("bit reversal not an involution at %d", j)
+		}
+	}
+}
+
+func TestFFTXorConfigPermutation(t *testing.T) {
+	for _, m := range []int{1, 2, 64} {
+		cfg := fftXorConfig(m)
+		seen := make([]bool, Lanes)
+		for _, v := range cfg {
+			if seen[v] {
+				t.Fatalf("xor config m=%d not a permutation", m)
+			}
+			seen[v] = true
+		}
+	}
+}

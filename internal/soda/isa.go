@@ -1,0 +1,181 @@
+// Package soda is a cycle-based functional simulator of one Diet SODA
+// processing element (Seo et al., ISLPED'10 — the paper's Appendix B):
+// a 128-wide 16-bit SIMD pipeline with a 32-entry vector register file,
+// 128 ALU+MULT functional units, a 128×128 XRAM shuffle network and a
+// multi-output adder tree; a 64 KB four-bank SIMD memory with per-bank
+// AGU pipelines and a 2-D-capable data prefetcher; a 4 KB scalar memory;
+// and a 16-bit scalar pipeline — split across a full-voltage domain
+// (memory system) and a dual-voltage domain (SIMD datapath) that can run
+// at near-threshold voltage.
+//
+// The simulator executes real kernels (FIR, dot product, color-space
+// conversion, 2-D tiles) and exposes the timing hooks used by
+// internal/timingerr to study variation-induced timing errors and
+// recovery policies on a wide SIMD machine.
+package soda
+
+import "fmt"
+
+// Machine dimensions, from the paper's Appendix B.
+const (
+	Lanes       = 128  // SIMD width
+	VRegs       = 32   // SIMD register file entries
+	SRegs       = 16   // scalar register file entries
+	Banks       = 4    // SIMD memory banks
+	BankLanes   = 32   // lanes per bank (Lanes / Banks)
+	BankRows    = 256  // 16-bit rows per bank lane → 16 KB per bank
+	ScalarWords = 2048 // 4 KB scalar memory of 16-bit words
+)
+
+// Opcode enumerates the instruction set. It is deliberately small but
+// complete enough to express the signal-processing kernels the paper's
+// introduction motivates.
+type Opcode int
+
+// Vector opcodes execute on the 128-wide SIMD pipeline (DV domain).
+const (
+	// VLOAD Vd, (Sa): load the 128-wide row addressed by scalar Sa.
+	VLOAD Opcode = iota
+	// VSTORE Vs, (Sa): store the 128-wide row addressed by scalar Sa.
+	VSTORE
+	// VADD Vd, Va, Vb — lane-wise 16-bit addition (wrapping).
+	VADD
+	// VSUB Vd, Va, Vb — lane-wise subtraction.
+	VSUB
+	// VMUL Vd, Va, Vb — lane-wise low-half product.
+	VMUL
+	// VMAC Vd, Va, Vb — Vd += Va·Vb (multiply-accumulate).
+	VMAC
+	// VAND, VOR, VXOR — lane-wise bitwise logic.
+	VAND
+	VOR
+	VXOR
+	// VSLL, VSRL, VSRA Vd, Va, imm — lane-wise shifts by immediate.
+	VSLL
+	VSRL
+	VSRA
+	// VMIN, VMAX Vd, Va, Vb — lane-wise signed min/max.
+	VMIN
+	VMAX
+	// VCMPLT Vd, Va, Vb — lane-wise 1/0 flag Va < Vb (signed).
+	VCMPLT
+	// VSEL Vd, Va, Vb with flags in Vd: lane-wise Vd = flag ? Va : Vb.
+	VSEL
+	// VBCAST Vd, Sa — broadcast scalar register into all lanes.
+	VBCAST
+	// VSHUF Vd, Va, slot — route Va through SSN configuration slot imm.
+	VSHUF
+	// VREDSUM Sd, Va — adder-tree reduction of all lanes into scalar Sd
+	// (low 16 bits of the sum; the tree provides multi-output partial
+	// sums in silicon, modeled by VREDGRP).
+	VREDSUM
+	// VREDGRP Vd, Va, imm — adder tree partial sums: lanes are grouped
+	// into 2^imm-lane segments; each lane of Vd receives its segment sum
+	// (the multi-output adder tree of Appendix B).
+	VREDGRP
+	// VGATHER Vd, Sa, Sb — prefetcher gather: lane k of Vd receives the
+	// memory element at flat address Sa + k·Sb (base and stride in
+	// scalar registers). Used for strided and 2-D access patterns.
+	VGATHER
+)
+
+// Scalar opcodes execute on the scalar pipeline.
+const (
+	// SLI Sd, imm — load immediate.
+	SLI Opcode = iota + 64
+	// SADD, SSUB, SMUL Sd, Sa, Sb.
+	SADD
+	SSUB
+	SMUL
+	// SADDI Sd, Sa, imm.
+	SADDI
+	// SLD Sd, (Sa+imm) — scalar memory load.
+	SLD
+	// SST Ss, (Sa+imm) — scalar memory store.
+	SST
+	// BNE Sa, Sb, label — branch if not equal.
+	BNE
+	// BLT Sa, Sb, label — branch if signed less-than.
+	BLT
+	// JMP label.
+	JMP
+	// HALT stops the program.
+	HALT
+	// NOP idles one cycle.
+	NOP
+)
+
+// IsVector reports whether the opcode executes on the SIMD pipeline.
+func (op Opcode) IsVector() bool { return op < 64 }
+
+var opNames = map[Opcode]string{
+	VLOAD: "vload", VSTORE: "vstore", VADD: "vadd", VSUB: "vsub",
+	VMUL: "vmul", VMAC: "vmac", VAND: "vand", VOR: "vor", VXOR: "vxor",
+	VSLL: "vsll", VSRL: "vsrl", VSRA: "vsra", VMIN: "vmin", VMAX: "vmax",
+	VCMPLT: "vcmplt", VSEL: "vsel", VBCAST: "vbcast", VSHUF: "vshuf",
+	VREDSUM: "vredsum", VREDGRP: "vredgrp", VGATHER: "vgather",
+	SLI: "sli", SADD: "sadd", SSUB: "ssub", SMUL: "smul", SADDI: "saddi",
+	SLD: "sld", SST: "sst", BNE: "bne", BLT: "blt", JMP: "jmp",
+	HALT: "halt", NOP: "nop",
+	SAGU: "sagu", VLOADB: "vloadb", VSTOREB: "vstoreb",
+}
+
+// String returns the mnemonic.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Instruction is one decoded operation. Field use depends on the opcode:
+// Dst/A/B index the vector or scalar register file as appropriate, Imm
+// carries immediates, shift amounts, SSN slots and branch targets.
+type Instruction struct {
+	Op  Opcode
+	Dst int
+	A   int
+	B   int
+	Imm int
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	switch in.Op {
+	case VLOAD:
+		return fmt.Sprintf("vload v%d, (s%d)", in.Dst, in.A)
+	case VSTORE:
+		return fmt.Sprintf("vstore v%d, (s%d)", in.Dst, in.A)
+	case VSLL, VSRL, VSRA, VSHUF, VREDGRP:
+		return fmt.Sprintf("%s v%d, v%d, %d", in.Op, in.Dst, in.A, in.Imm)
+	case VBCAST:
+		return fmt.Sprintf("vbcast v%d, s%d", in.Dst, in.A)
+	case VGATHER:
+		return fmt.Sprintf("vgather v%d, s%d, s%d", in.Dst, in.A, in.B)
+	case VREDSUM:
+		return fmt.Sprintf("vredsum s%d, v%d", in.Dst, in.A)
+	case SLI:
+		return fmt.Sprintf("sli s%d, %d", in.Dst, in.Imm)
+	case SADDI:
+		return fmt.Sprintf("saddi s%d, s%d, %d", in.Dst, in.A, in.Imm)
+	case SLD:
+		return fmt.Sprintf("sld s%d, (s%d+%d)", in.Dst, in.A, in.Imm)
+	case SST:
+		return fmt.Sprintf("sst s%d, (s%d+%d)", in.Dst, in.A, in.Imm)
+	case SAGU:
+		return fmt.Sprintf("sagu %d, s%d, s%d", in.Imm, in.A, in.B)
+	case VLOADB, VSTOREB:
+		return fmt.Sprintf("%s v%d", in.Op, in.Dst)
+	case BNE, BLT:
+		return fmt.Sprintf("%s s%d, s%d, @%d", in.Op, in.A, in.B, in.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", in.Imm)
+	case HALT, NOP:
+		return in.Op.String()
+	default:
+		if in.Op.IsVector() {
+			return fmt.Sprintf("%s v%d, v%d, v%d", in.Op, in.Dst, in.A, in.B)
+		}
+		return fmt.Sprintf("%s s%d, s%d, s%d", in.Op, in.Dst, in.A, in.B)
+	}
+}

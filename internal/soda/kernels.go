@@ -1,0 +1,376 @@
+package soda
+
+import (
+	"fmt"
+
+	"github.com/ntvsim/ntvsim/internal/xram"
+)
+
+// Kernel bundles a program with its input staging and output check, so
+// the same workload runs identically in tests, benchmarks and examples.
+type Kernel struct {
+	Name    string
+	Program []Instruction
+	// Setup stages inputs into PE memory and SSN configuration slots.
+	Setup func(pe *PE) error
+	// Check verifies outputs against a host-side golden model computed
+	// with identical 16-bit wrapping semantics.
+	Check func(pe *PE) error
+}
+
+// DefaultCycleBudget bounds kernel runs; every shipped kernel finishes
+// in well under this many SIMD cycles even at maximum recovery stall.
+const DefaultCycleBudget = 1 << 20
+
+// RunKernel stages, executes and checks a kernel on the PE.
+func RunKernel(pe *PE, k Kernel) error {
+	if err := k.Setup(pe); err != nil {
+		return fmt.Errorf("soda: %s setup: %w", k.Name, err)
+	}
+	if err := pe.Run(k.Program, DefaultCycleBudget); err != nil {
+		return fmt.Errorf("soda: %s run: %w", k.Name, err)
+	}
+	if err := k.Check(pe); err != nil {
+		return fmt.Errorf("soda: %s check: %w", k.Name, err)
+	}
+	return nil
+}
+
+// memory layout rows used by the kernels (full 128-wide rows).
+const (
+	rowA   = 0
+	rowB   = 1
+	rowC   = 2
+	rowOut = 8
+)
+
+// ScaleAddKernel computes out = a·scale + b over one 128-wide row.
+func ScaleAddKernel(a, b []uint16, scale int16) Kernel {
+	if len(a) != Lanes || len(b) != Lanes {
+		panic("soda: ScaleAddKernel inputs must be 128 wide")
+	}
+	bld := NewBuilder()
+	bld.SLi(1, rowA).
+		SLi(2, rowB).
+		SLi(3, rowOut).
+		SLi(4, int(scale)).
+		VLoad(0, 1).
+		VLoad(1, 2).
+		VBcast(2, 4).
+		V3(VMUL, 0, 0, 2).
+		V3(VADD, 0, 0, 1).
+		VStore(0, 3).
+		Halt()
+	return Kernel{
+		Name:    "scale-add",
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			if err := pe.Mem.WriteRow(rowA, a); err != nil {
+				return err
+			}
+			return pe.Mem.WriteRow(rowB, b)
+		},
+		Check: func(pe *PE) error {
+			var want [Lanes]uint16
+			for i := range want {
+				want[i] = uint16(int16(a[i])*scale) + b[i]
+			}
+			return expectRow(pe, rowOut, want[:])
+		},
+	}
+}
+
+// FIRKernel computes a T-tap circular FIR over one 128-sample row:
+// y[i] = Σ_t h[t]·x[(i−t) mod 128], using SSN rotation configurations
+// (one slot per tap) and VMAC — the canonical Diet SODA signal kernel.
+// taps must fit within the SSN configuration slots.
+func FIRKernel(x []uint16, h []int16) Kernel {
+	if len(x) != Lanes {
+		panic("soda: FIRKernel signal must be 128 wide")
+	}
+	if len(h) == 0 || len(h) > xram.DefaultSlots {
+		panic(fmt.Sprintf("soda: FIRKernel needs 1..%d taps", xram.DefaultSlots))
+	}
+	bld := NewBuilder()
+	bld.SLi(1, rowA).
+		SLi(3, rowOut).
+		VLoad(0, 1).      // v0 = x
+		V3(VXOR, 1, 1, 1) // v1 = accumulator = 0
+	for t := range h {
+		// v2 = rotate(x, t); v3 = broadcast h[t]; v1 += v2·v3.
+		bld.SLi(4, int(h[t])).
+			VImm(VSHUF, 2, 0, t).
+			VBcast(3, 4).
+			V3(VMAC, 1, 2, 3)
+	}
+	bld.VStore(1, 3).Halt()
+	return Kernel{
+		Name:    fmt.Sprintf("fir-%dtap", len(h)),
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			for t := range h {
+				// Slot t: out[i] = in[(i-t) mod 128].
+				if err := pe.SSN.Store(t, xram.Rotate(Lanes, -t)); err != nil {
+					return err
+				}
+			}
+			return pe.Mem.WriteRow(rowA, x)
+		},
+		Check: func(pe *PE) error {
+			var want [Lanes]uint16
+			for i := range want {
+				var acc uint16
+				for t := range h {
+					xi := x[((i-t)%Lanes+Lanes)%Lanes]
+					acc += uint16(int16(xi) * h[t])
+				}
+				want[i] = acc
+			}
+			return expectRow(pe, rowOut, want[:])
+		},
+	}
+}
+
+// DotProductKernel computes the dot product of two vectors of rows·128
+// elements laid out as consecutive rows, accumulating per-row partial
+// reductions in a scalar loop and storing the final 16-bit sum to
+// scalar memory word 0.
+func DotProductKernel(a, b []uint16) Kernel {
+	if len(a) != len(b) || len(a)%Lanes != 0 || len(a) == 0 {
+		panic("soda: DotProductKernel needs equal, 128-multiple inputs")
+	}
+	rows := len(a) / Lanes
+	const (
+		aBase = 0  // rows 0..rows-1
+		bBase = 64 // rows 64..
+	)
+	if rows > 64 || bBase+rows > BankRows {
+		panic("soda: DotProductKernel input too large")
+	}
+	bld := NewBuilder()
+	bld.SLi(1, aBase). // s1 = a row cursor
+				SLi(2, bBase). // s2 = b row cursor
+				SLi(3, 0).     // s3 = accumulator
+				SLi(4, 0).     // s4 = row counter
+				SLi(5, rows).  // s5 = row limit
+				SLi(6, 0).     // s6 = scalar out address
+				Label("loop").
+				VLoad(0, 1).
+				VLoad(1, 2).
+				V3(VMUL, 0, 0, 1).
+				VRedSum(7, 0).
+				S3(SADD, 3, 3, 7).
+				SAddI(1, 1, 1).
+				SAddI(2, 2, 1).
+				SAddI(4, 4, 1).
+				Branch(BNE, 4, 5, "loop").
+				SStore(3, 6, 0).
+				Halt()
+	return Kernel{
+		Name:    fmt.Sprintf("dot-%drows", rows),
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			if err := pe.Mem.LoadSlice(aBase*Lanes, a); err != nil {
+				return err
+			}
+			return pe.Mem.LoadSlice(bBase*Lanes, b)
+		},
+		Check: func(pe *PE) error {
+			var want uint16
+			for i := range a {
+				want += uint16(int16(a[i]) * int16(b[i]))
+			}
+			if got := pe.SMem[0]; got != want {
+				return fmt.Errorf("dot product = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// RGBToYCbCrKernel converts one 128-pixel row from planar RGB (rows
+// rowA/rowB/rowC) to Y/Cb/Cr (rows rowOut..rowOut+2) using the
+// integer-approximation matrix with inputs pre-scaled by ≫2 to keep the
+// products within 16-bit range — the digital-camera pipeline stage the
+// Diet SODA paper targets.
+func RGBToYCbCrKernel(r, g, b []uint16) Kernel {
+	if len(r) != Lanes || len(g) != Lanes || len(b) != Lanes {
+		panic("soda: RGBToYCbCrKernel planes must be 128 wide")
+	}
+	// Coefficients (Q8): Y = 77R+150G+29B; Cb = -43R-85G+128B;
+	// Cr = 128R-107G-21B, all ≫8 after accumulation, on ≫2 inputs.
+	type plane struct {
+		name       string
+		cr, cg, cb int16
+		out        int
+	}
+	planes := []plane{
+		{"y", 77, 150, 29, rowOut},
+		{"cb", -43, -85, 128, rowOut + 1},
+		{"cr", 128, -107, -21, rowOut + 2},
+	}
+	bld := NewBuilder()
+	bld.SLi(1, rowA).SLi(2, rowB).SLi(3, rowC).
+		VLoad(0, 1).VLoad(1, 2).VLoad(2, 3).
+		// Pre-scale inputs to 6 significant bits.
+		VImm(VSRL, 0, 0, 2).VImm(VSRL, 1, 1, 2).VImm(VSRL, 2, 2, 2)
+	for _, p := range planes {
+		bld.SLi(4, int(p.cr)).VBcast(4, 4).
+			SLi(5, int(p.cg)).VBcast(5, 5).
+			SLi(6, int(p.cb)).VBcast(6, 6).
+			V3(VXOR, 7, 7, 7).
+			V3(VMAC, 7, 0, 4).
+			V3(VMAC, 7, 1, 5).
+			V3(VMAC, 7, 2, 6).
+			VImm(VSRA, 7, 7, 8).
+			SLi(7, p.out).
+			VStore(7, 7)
+	}
+	bld.Halt()
+	return Kernel{
+		Name:    "rgb-ycbcr",
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			if err := pe.Mem.WriteRow(rowA, r); err != nil {
+				return err
+			}
+			if err := pe.Mem.WriteRow(rowB, g); err != nil {
+				return err
+			}
+			return pe.Mem.WriteRow(rowC, b)
+		},
+		Check: func(pe *PE) error {
+			for pi, p := range planes {
+				var want [Lanes]uint16
+				for i := range want {
+					rs, gs, bs := r[i]>>2, g[i]>>2, b[i]>>2
+					acc := uint16(int16(rs)*p.cr) + uint16(int16(gs)*p.cg) + uint16(int16(bs)*p.cb)
+					want[i] = uint16(int16(acc) >> 8)
+				}
+				if err := expectRow(pe, planes[pi].out, want[:]); err != nil {
+					return fmt.Errorf("plane %s: %w", p.name, err)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// maskRow holds the column-sum kernel's lane mask (1 for lanes < h).
+const maskRow = 200
+
+// ColumnSumKernel treats memory rows 0..h-1 as an h×128 image and
+// computes per-column sums: one VGATHER per column walks down the column
+// with stride 128 (the prefetcher's 2-D access path), a preloaded mask
+// row zeroes lanes beyond the image height, and the adder tree reduces.
+// Scalar memory word c receives the 16-bit sum of column c, c < cols.
+func ColumnSumKernel(img []uint16, h, cols int) Kernel {
+	if h < 1 || h > Lanes || len(img) != h*Lanes || cols < 1 || cols > Lanes {
+		panic("soda: ColumnSumKernel needs an h×128 image with h, cols ≤ 128")
+	}
+	bld := NewBuilder()
+	bld.SLi(1, 0). // s1 = column index (also gather base and output addr)
+			SLi(2, Lanes). // s2 = gather stride: one full row
+			SLi(3, cols).  // s3 = column limit
+			SLi(4, maskRow).
+			VLoad(1, 4). // v1 = lane mask
+			Label("loop").
+			V3(VGATHER, 0, 1, 2). // v0[k] = img[k·128 + column]
+			V3(VMUL, 0, 0, 1).    // zero lanes ≥ h
+			VRedSum(7, 0).
+			SStore(7, 1, 0). // scalar mem[column] = sum
+			SAddI(1, 1, 1).
+			Branch(BNE, 1, 3, "loop").
+			Halt()
+	return Kernel{
+		Name:    fmt.Sprintf("colsum-%dx%d", h, cols),
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			if err := pe.Mem.LoadSlice(0, img); err != nil {
+				return err
+			}
+			var mask [Lanes]uint16
+			for k := 0; k < h; k++ {
+				mask[k] = 1
+			}
+			return pe.Mem.WriteRow(maskRow, mask[:])
+		},
+		Check: func(pe *PE) error {
+			for c := 0; c < cols; c++ {
+				var want uint16
+				for k := 0; k < h; k++ {
+					want += img[k*Lanes+c]
+				}
+				if got := pe.SMem[c]; got != want {
+					return fmt.Errorf("column %d sum = %d, want %d", c, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// expectRow compares a memory row against want.
+func expectRow(pe *PE, row int, want []uint16) error {
+	var got [Lanes]uint16
+	if err := pe.Mem.ReadRow(row, got[:]); err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("row %d lane %d = %d, want %d", row, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// StridedSumKernel sums n 128-wide rows spaced stride apart starting at
+// row 0, using the AGU pipelines' post-increment so the loop body needs
+// no address arithmetic: one SAGU setup per bank, then VLOADB streams
+// the rows. The result vector is stored to rowOut.
+func StridedSumKernel(rows []uint16, n, stride int) Kernel {
+	if n < 1 || stride < 1 || len(rows) != n*Lanes {
+		panic("soda: StridedSumKernel needs n stride-spaced rows of input")
+	}
+	if (n-1)*stride >= BankRows || rowOut <= (n-1)*stride {
+		panic("soda: StridedSumKernel layout collides with output row")
+	}
+	bld := NewBuilder()
+	bld.SLi(1, 0). // AGU base row
+			SLi(2, stride). // AGU stride
+			SLi(3, 0).      // loop counter
+			SLi(4, n)       // limit
+	for b := 0; b < Banks; b++ {
+		bld.Emit(Instruction{Op: SAGU, A: 1, B: 2, Imm: b})
+	}
+	bld.V3(VXOR, 0, 0, 0). // accumulator
+				Label("loop").
+				Emit(Instruction{Op: VLOADB, Dst: 1}).
+				V3(VADD, 0, 0, 1).
+				SAddI(3, 3, 1).
+				Branch(BNE, 3, 4, "loop").
+				SLi(1, rowOut).
+				VStore(0, 1).
+				Halt()
+	return Kernel{
+		Name:    fmt.Sprintf("stridedsum-%dx%d", n, stride),
+		Program: bld.MustProgram(),
+		Setup: func(pe *PE) error {
+			for k := 0; k < n; k++ {
+				if err := pe.Mem.WriteRow(k*stride, rows[k*Lanes:(k+1)*Lanes]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Check: func(pe *PE) error {
+			var want [Lanes]uint16
+			for k := 0; k < n; k++ {
+				for i := 0; i < Lanes; i++ {
+					want[i] += rows[k*Lanes+i]
+				}
+			}
+			return expectRow(pe, rowOut, want[:])
+		},
+	}
+}

@@ -1,0 +1,199 @@
+package soda
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func randVec(r *rng.Stream, n, lim int) []uint16 {
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = uint16(r.IntN(lim))
+	}
+	return out
+}
+
+func TestScaleAddKernel(t *testing.T) {
+	r := rng.New(1)
+	k := ScaleAddKernel(randVec(r, Lanes, 1000), randVec(r, Lanes, 1000), -7)
+	if err := RunKernel(NewPE(), k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIRKernelVariousTaps(t *testing.T) {
+	r := rng.New(2)
+	for _, taps := range [][]int16{
+		{1},
+		{1, -2, 3},
+		{3, -1, 4, 1, -5, 9, 2, -6},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	} {
+		k := FIRKernel(randVec(r, Lanes, 256), taps)
+		pe := NewPE()
+		if err := RunKernel(pe, k); err != nil {
+			t.Errorf("%d taps: %v", len(taps), err)
+		}
+		if pe.Stats.SSNRoutes != len(taps) {
+			t.Errorf("%d taps: %d shuffle routes", len(taps), pe.Stats.SSNRoutes)
+		}
+	}
+}
+
+func TestFIRKernelPanicsOnTooManyTaps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("17 taps should panic (exceeds SSN slots)")
+		}
+	}()
+	FIRKernel(make([]uint16, Lanes), make([]int16, 17))
+}
+
+func TestDotProductKernelSizes(t *testing.T) {
+	r := rng.New(3)
+	for _, rows := range []int{1, 2, 16, 64} {
+		n := rows * Lanes
+		k := DotProductKernel(randVec(r, n, 512), randVec(r, n, 512))
+		pe := NewPE()
+		if err := RunKernel(pe, k); err != nil {
+			t.Errorf("%d rows: %v", rows, err)
+		}
+		if pe.Stats.TreeOps != rows {
+			t.Errorf("%d rows: %d tree reductions", rows, pe.Stats.TreeOps)
+		}
+	}
+}
+
+func TestDotProductKernelValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { DotProductKernel(make([]uint16, 100), make([]uint16, 100)) },
+		func() { DotProductKernel(make([]uint16, Lanes), make([]uint16, 2*Lanes)) },
+		func() { DotProductKernel(nil, nil) },
+		func() { DotProductKernel(make([]uint16, 65*Lanes), make([]uint16, 65*Lanes)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid dot-product input accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRGBToYCbCrKernel(t *testing.T) {
+	r := rng.New(4)
+	k := RGBToYCbCrKernel(randVec(r, Lanes, 256), randVec(r, Lanes, 256), randVec(r, Lanes, 256))
+	if err := RunKernel(NewPE(), k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnSumKernel(t *testing.T) {
+	r := rng.New(5)
+	for _, hc := range []struct{ h, cols int }{{4, 8}, {32, 64}, {128, 16}} {
+		img := randVec(r, hc.h*Lanes, 100)
+		k := ColumnSumKernel(img, hc.h, hc.cols)
+		pe := NewPE()
+		if err := RunKernel(pe, k); err != nil {
+			t.Errorf("%dx%d: %v", hc.h, hc.cols, err)
+		}
+		if pe.Stats.GatherRows == 0 {
+			t.Error("column sum should exercise the prefetcher")
+		}
+	}
+}
+
+func TestKernelsUnderErrorInjection(t *testing.T) {
+	// Functional correctness must hold regardless of timing errors —
+	// recovery costs cycles, never corrupts data.
+	r := rng.New(6)
+	k := FIRKernel(randVec(r, Lanes, 256), []int16{1, -2, 3, -4})
+	pe := NewPE()
+	pe.Err = fixedPenalty{cycles: 2, errs: 1}
+	pe.Rand = rng.New(7)
+	if err := RunKernel(pe, k); err != nil {
+		t.Fatal(err)
+	}
+	if pe.Stats.RecoveryStall == 0 {
+		t.Error("injection did not charge cycles")
+	}
+	clean := NewPE()
+	if err := RunKernel(clean, k); err != nil {
+		t.Fatal(err)
+	}
+	if pe.Stats.Cycles <= clean.Stats.Cycles {
+		t.Error("errors should slow execution down")
+	}
+}
+
+func TestKernelCheckCatchesCorruption(t *testing.T) {
+	r := rng.New(8)
+	a := randVec(r, Lanes, 100)
+	b := randVec(r, Lanes, 100)
+	k := ScaleAddKernel(a, b, 3)
+	pe := NewPE()
+	if err := k.Setup(pe); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Run(k.Program, DefaultCycleBudget); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one output lane; Check must notice.
+	var row [Lanes]uint16
+	if err := pe.Mem.ReadRow(rowOut, row[:]); err != nil {
+		t.Fatal(err)
+	}
+	row[17]++
+	if err := pe.Mem.WriteRow(rowOut, row[:]); err != nil {
+		t.Fatal(err)
+	}
+	err := k.Check(pe)
+	if err == nil || !strings.Contains(err.Error(), "lane 17") {
+		t.Errorf("corruption not caught: %v", err)
+	}
+}
+
+func TestKernelNamesDistinct(t *testing.T) {
+	r := rng.New(9)
+	names := map[string]bool{}
+	ks := []Kernel{
+		ScaleAddKernel(randVec(r, Lanes, 10), randVec(r, Lanes, 10), 1),
+		FIRKernel(randVec(r, Lanes, 10), []int16{1, 2}),
+		DotProductKernel(randVec(r, Lanes, 10), randVec(r, Lanes, 10)),
+		RGBToYCbCrKernel(randVec(r, Lanes, 10), randVec(r, Lanes, 10), randVec(r, Lanes, 10)),
+		ColumnSumKernel(randVec(r, 4*Lanes, 10), 4, 4),
+	}
+	for _, k := range ks {
+		if k.Name == "" || names[k.Name] {
+			t.Errorf("kernel name %q empty or duplicated", k.Name)
+		}
+		names[k.Name] = true
+	}
+}
+
+func TestStridedSumKernel(t *testing.T) {
+	r := rng.New(11)
+	for _, cfg := range []struct{ n, stride int }{{1, 1}, {4, 1}, {3, 2}, {2, 3}} {
+		k := StridedSumKernel(randVec(r, cfg.n*Lanes, 500), cfg.n, cfg.stride)
+		pe := NewPE()
+		if err := RunKernel(pe, k); err != nil {
+			t.Errorf("n=%d stride=%d: %v", cfg.n, cfg.stride, err)
+		}
+		if pe.Stats.MemRowOps != cfg.n+1 { // n banked loads + final store
+			t.Errorf("n=%d: mem ops %d", cfg.n, pe.Stats.MemRowOps)
+		}
+	}
+}
+
+func TestStridedSumValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("colliding layout accepted")
+		}
+	}()
+	StridedSumKernel(make([]uint16, 5*Lanes), 5, 2) // row 8 = rowOut collision
+}

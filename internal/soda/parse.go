@@ -1,0 +1,342 @@
+package soda
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses textual assembly into a program. The syntax is exactly
+// what Instruction.String prints, one instruction per line:
+//
+//	; comments run to end of line (also '#')
+//	loop:                     ; labels end with ':'
+//	    vadd v1, v2, v3
+//	    vload v0, (s1)
+//	    sld s1, (s2+3)
+//	    vsra v1, v1, 8
+//	    bne s1, s2, loop      ; branch targets are labels
+//	    sagu 0, s1, s2
+//	    halt
+//
+// Register operands are v0–v31 and s0–s15; immediates are decimal
+// (optionally negative). Errors carry the 1-based source line.
+func Assemble(src string) ([]Instruction, error) {
+	bld := NewBuilder()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if name == "" {
+				return nil, fmt.Errorf("soda: line %d: empty label", ln+1)
+			}
+			bld.Label(name)
+			continue
+		}
+		if err := parseLine(bld, line); err != nil {
+			return nil, fmt.Errorf("soda: line %d: %w", ln+1, err)
+		}
+	}
+	prog, err := bld.Program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// mnemonics maps each mnemonic to its opcode; built from the
+// disassembly table so the two can never diverge.
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func parseLine(bld *Builder, line string) error {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	args := strings.Split(strings.TrimSpace(strings.TrimPrefix(line, fields[0])), ",")
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	if len(args) == 1 && args[0] == "" {
+		args = nil
+	}
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case HALT, NOP:
+		if err := need(0); err != nil {
+			return err
+		}
+		bld.Emit(Instruction{Op: op})
+	case JMP:
+		if err := need(1); err != nil {
+			return err
+		}
+		bld.Jmp(args[0])
+	case BNE, BLT:
+		if err := need(3); err != nil {
+			return err
+		}
+		a, err := parseReg(args[0], 's')
+		if err != nil {
+			return err
+		}
+		b, err := parseReg(args[1], 's')
+		if err != nil {
+			return err
+		}
+		bld.Branch(op, a, b, args[2])
+	case SLI:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 's')
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		bld.SLi(d, imm)
+	case SADDI:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 's')
+		if err != nil {
+			return err
+		}
+		a, err := parseReg(args[1], 's')
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		bld.SAddI(d, a, imm)
+	case SADD, SSUB, SMUL:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, a, b, err := parse3Reg(args, 's', 's', 's')
+		if err != nil {
+			return err
+		}
+		bld.S3(op, d, a, b)
+	case SLD, SST:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 's')
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		bld.Emit(Instruction{Op: op, Dst: d, A: base, Imm: off})
+	case VLOAD, VSTORE:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 'v')
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if off != 0 {
+			return fmt.Errorf("%s does not take an address offset", mnem)
+		}
+		bld.Emit(Instruction{Op: op, Dst: d, A: base})
+	case VBCAST:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 'v')
+		if err != nil {
+			return err
+		}
+		a, err := parseReg(args[1], 's')
+		if err != nil {
+			return err
+		}
+		bld.VBcast(d, a)
+	case VREDSUM:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 's')
+		if err != nil {
+			return err
+		}
+		a, err := parseReg(args[1], 'v')
+		if err != nil {
+			return err
+		}
+		bld.VRedSum(d, a)
+	case VSLL, VSRL, VSRA, VSHUF, VREDGRP:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 'v')
+		if err != nil {
+			return err
+		}
+		a, err := parseReg(args[1], 'v')
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		bld.VImm(op, d, a, imm)
+	case VGATHER:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 'v')
+		if err != nil {
+			return err
+		}
+		a, err := parseReg(args[1], 's')
+		if err != nil {
+			return err
+		}
+		b, err := parseReg(args[2], 's')
+		if err != nil {
+			return err
+		}
+		bld.Emit(Instruction{Op: VGATHER, Dst: d, A: a, B: b})
+	case SAGU:
+		if err := need(3); err != nil {
+			return err
+		}
+		imm, err := parseImm(args[0])
+		if err != nil {
+			return err
+		}
+		a, err := parseReg(args[1], 's')
+		if err != nil {
+			return err
+		}
+		b, err := parseReg(args[2], 's')
+		if err != nil {
+			return err
+		}
+		bld.Emit(Instruction{Op: SAGU, A: a, B: b, Imm: imm})
+	case VLOADB, VSTOREB:
+		if err := need(1); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0], 'v')
+		if err != nil {
+			return err
+		}
+		bld.Emit(Instruction{Op: op, Dst: d})
+	default:
+		// Remaining three-register vector forms (vadd … vsel).
+		if err := need(3); err != nil {
+			return err
+		}
+		d, a, b, err := parse3Reg(args, 'v', 'v', 'v')
+		if err != nil {
+			return err
+		}
+		bld.V3(op, d, a, b)
+	}
+	return nil
+}
+
+// parseReg parses "v12" or "s3" with the expected register class.
+func parseReg(tok string, class byte) (int, error) {
+	if len(tok) < 2 || tok[0] != class {
+		return 0, fmt.Errorf("expected %c-register, got %q", class, tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	limit := VRegs
+	if class == 's' {
+		limit = SRegs
+	}
+	if n < 0 || n >= limit {
+		return 0, fmt.Errorf("register %q outside %c0–%c%d", tok, class, class, limit-1)
+	}
+	return n, nil
+}
+
+func parse3Reg(args []string, c0, c1, c2 byte) (d, a, b int, err error) {
+	if d, err = parseReg(args[0], c0); err != nil {
+		return
+	}
+	if a, err = parseReg(args[1], c1); err != nil {
+		return
+	}
+	b, err = parseReg(args[2], c2)
+	return
+}
+
+// parseImm parses a decimal immediate.
+func parseImm(tok string) (int, error) {
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return n, nil
+}
+
+// parseMem parses "(s2)" or "(s2+3)" into (base register, offset).
+func parseMem(tok string) (base, off int, err error) {
+	if !strings.HasPrefix(tok, "(") || !strings.HasSuffix(tok, ")") {
+		return 0, 0, fmt.Errorf("expected (sN) or (sN+imm), got %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	regPart, offPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		regPart = inner[:i]
+		offPart = inner[i:]
+		if strings.HasPrefix(offPart, "+") {
+			offPart = offPart[1:]
+		}
+	}
+	base, err = parseReg(strings.TrimSpace(regPart), 's')
+	if err != nil {
+		return 0, 0, err
+	}
+	if offPart != "" {
+		off, err = parseImm(strings.TrimSpace(offPart))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return base, off, nil
+}

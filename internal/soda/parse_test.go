@@ -1,0 +1,169 @@
+package soda
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+	; sum 1..10
+	sli s1, 0       ; acc
+	sli s2, 0       ; i
+	sli s3, 10      ; limit
+loop:
+	saddi s2, s2, 1
+	sadd s1, s1, s2
+	bne s2, s3, loop
+	halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := NewPE()
+	if err := pe.Run(prog, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if pe.SRF[1] != 55 {
+		t.Errorf("sum = %d, want 55", pe.SRF[1])
+	}
+}
+
+func TestAssembleVectorOps(t *testing.T) {
+	src := `
+	sli s1, 5
+	vbcast v1, s1
+	vadd v2, v1, v1
+	vsll v2, v2, 1
+	vredsum s2, v2
+	halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := NewPE()
+	if err := pe.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint16(5 * 2 * 2 * Lanes); pe.SRF[2] != want {
+		t.Errorf("result = %d, want %d", pe.SRF[2], want)
+	}
+}
+
+func TestAssembleMemoryForms(t *testing.T) {
+	src := `
+	sli s1, 100
+	sli s2, 777
+	sst s2, (s1+5)
+	sld s3, (s1+5)
+	sli s4, 3
+	vload v0, (s4)
+	vstore v0, (s4)
+	halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := NewPE()
+	if err := pe.Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if pe.SRF[3] != 777 {
+		t.Errorf("scalar round trip = %d", pe.SRF[3])
+	}
+}
+
+func TestAssembleAGUForms(t *testing.T) {
+	src := `
+	sli s1, 20
+	sli s2, 1
+	sagu 0, s1, s2
+	sagu 1, s1, s2
+	sagu 2, s1, s2
+	sagu 3, s1, s2
+	vloadb v0
+	vstoreb v0
+	halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPE().Run(prog, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssembleDisassembleRoundTrip: parsing the disassembly of a real
+// kernel reproduces the instruction stream exactly (branch targets
+// excepted — they disassemble as resolved addresses, so the FIR kernel
+// used here is branch-free).
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	k := FIRKernel(make([]uint16, Lanes), []int16{1, -2, 3})
+	var b strings.Builder
+	for _, in := range k.Program {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	prog, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, b.String())
+	}
+	if len(prog) != len(k.Program) {
+		t.Fatalf("length %d, want %d", len(prog), len(k.Program))
+	}
+	for i := range prog {
+		if prog[i] != k.Program[i] {
+			t.Errorf("instruction %d = %+v, want %+v", i, prog[i], k.Program[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", "frobnicate v0, v1, v2"},
+		{"bad register class", "vadd s0, v1, v2"},
+		{"register range", "vadd v40, v1, v2"},
+		{"scalar range", "sli s16, 3"},
+		{"operand count", "vadd v0, v1"},
+		{"bad immediate", "sli s1, abc"},
+		{"bad mem operand", "sld s1, s2"},
+		{"undefined label", "jmp nowhere\nhalt"},
+		{"empty label", ":"},
+		{"vload with offset", "sli s1, 0\nvload v0, (s1+4)"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlank(t *testing.T) {
+	prog, err := Assemble("\n  # full comment\n ; another\n\nhalt ; trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 1 || prog[0].Op != HALT {
+		t.Errorf("prog = %v", prog)
+	}
+}
+
+func TestAssembleNegativeImmediates(t *testing.T) {
+	prog, err := Assemble("sli s1, -7\nsaddi s1, s1, -1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := NewPE()
+	if err := pe.Run(prog, 10); err != nil {
+		t.Fatal(err)
+	}
+	if int16(pe.SRF[1]) != -8 {
+		t.Errorf("s1 = %d, want -8", int16(pe.SRF[1]))
+	}
+}

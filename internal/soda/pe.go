@@ -1,0 +1,488 @@
+package soda
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/xram"
+)
+
+// ErrorModel injects variation-induced timing errors into the SIMD
+// pipeline. For every issued vector operation it returns the number of
+// extra recovery cycles the whole datapath pays and the number of lane
+// errors that occurred (zero for an error-free issue). Implementations
+// live in internal/timingerr.
+type ErrorModel interface {
+	Penalty(r *rng.Stream) (extraCycles, laneErrors int)
+}
+
+// ClockConfig sets the PE's two-domain timing. The SIMD datapath clock
+// period must be a multiple of the memory clock period (§4.3), so the
+// ratio is an integer ≥ 1: at deep near-threshold voltage the SIMD clock
+// is slow and memory completes within one SIMD cycle; at full voltage
+// (ratio 1) memory costs its native latency.
+type ClockConfig struct {
+	MemLatency int // memory access latency in full-voltage memory cycles
+	ClockRatio int // T_simd / T_mem, integer ≥ 1
+}
+
+// DefaultClock is full-voltage operation: both domains at the same clock.
+func DefaultClock() ClockConfig { return ClockConfig{MemLatency: 2, ClockRatio: 1} }
+
+// memCycles converts the memory latency into SIMD cycles (≥ 1).
+func (c ClockConfig) memCycles() int {
+	lat, ratio := c.MemLatency, c.ClockRatio
+	if lat < 1 {
+		lat = 2
+	}
+	if ratio < 1 {
+		ratio = 1
+	}
+	n := (lat + ratio - 1) / ratio
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stats accumulates execution counters for one run.
+type Stats struct {
+	Cycles        int
+	Instructions  int
+	VectorOps     int
+	ScalarOps     int
+	MemRowOps     int // full-voltage memory row accesses
+	GatherRows    int // rows touched by prefetcher gathers
+	SSNRoutes     int // shuffle network traversals
+	TreeOps       int // adder tree reductions
+	TimingErrors  int // injected lane timing errors
+	RecoveryStall int // cycles lost to error recovery
+	HazardStall   int // cycles lost to pipeline read-after-write hazards
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// PE is one Diet SODA processing element.
+type PE struct {
+	VRF  [VRegs][Lanes]uint16
+	SRF  [SRegs]uint16
+	Mem  *SIMDMemory
+	SMem [ScalarWords]uint16
+	SSN  *xram.Crossbar
+
+	// AGUs are the four per-bank address-generation pipelines used by
+	// the banked load/store opcodes (see agu.go).
+	AGUs [aguCount]AGU
+
+	Clock ClockConfig
+	Err   ErrorModel  // nil: error-free operation
+	Rand  *rng.Stream // used only by Err
+	// Pipe, when set, charges read-after-write hazard stalls between
+	// dependent vector instructions (see pipeline.go).
+	Pipe *Pipeline
+	// Trace, when set, receives one line per executed instruction.
+	Trace io.Writer
+
+	Stats Stats
+}
+
+// NewPE returns a powered-up PE with zeroed state, an identity-configured
+// 128×128 shuffle network and full-voltage clocking.
+func NewPE() *PE {
+	ssn, err := xram.New(Lanes, 0)
+	if err != nil {
+		panic(err) // impossible: constant valid size
+	}
+	return &PE{Mem: NewSIMDMemory(), SSN: ssn, Clock: DefaultClock()}
+}
+
+// Reset clears registers, AGUs and statistics but preserves memory
+// contents, SSN configurations and clocking — the state a kernel
+// restart would see.
+func (pe *PE) Reset() {
+	pe.VRF = [VRegs][Lanes]uint16{}
+	pe.SRF = [SRegs]uint16{}
+	pe.AGUs = [aguCount]AGU{}
+	pe.Stats = Stats{}
+	if pe.Pipe != nil {
+		pe.Pipe.Reset()
+	}
+}
+
+func checkVReg(i int) error {
+	if i < 0 || i >= VRegs {
+		return fmt.Errorf("soda: vector register v%d outside [0, %d)", i, VRegs)
+	}
+	return nil
+}
+
+func checkSReg(i int) error {
+	if i < 0 || i >= SRegs {
+		return fmt.Errorf("soda: scalar register s%d outside [0, %d)", i, SRegs)
+	}
+	return nil
+}
+
+// Run executes the program until HALT, the end of the program, or
+// maxCycles elapsed. It returns an error for malformed programs
+// (bad registers, addresses, or a cycle overrun, which indicates a
+// non-terminating kernel).
+func (pe *PE) Run(program []Instruction, maxCycles int) error {
+	pc := 0
+	for pc < len(program) {
+		if pe.Stats.Cycles >= maxCycles {
+			return fmt.Errorf("soda: exceeded %d cycles at pc=%d (%s)", maxCycles, pc, program[pc])
+		}
+		in := program[pc]
+		next := pc + 1
+		cost := 1
+
+		if in.Op.IsVector() {
+			c, err := pe.execVector(in)
+			if err != nil {
+				return fmt.Errorf("soda: pc=%d %s: %w", pc, in, err)
+			}
+			cost = c
+			pe.Stats.VectorOps++
+			if pe.Pipe != nil {
+				dst, srcs := vectorOperands(in)
+				stall := pe.Pipe.Issue(dst, srcs, c)
+				pe.Stats.HazardStall += stall
+				cost += stall
+			}
+			if pe.Err != nil {
+				extra, errs := pe.Err.Penalty(pe.Rand)
+				pe.Stats.RecoveryStall += extra
+				pe.Stats.TimingErrors += errs
+				cost += extra
+			}
+		} else if in.Op >= SAGU {
+			c, err := pe.execAGU(in)
+			if err != nil {
+				return fmt.Errorf("soda: pc=%d %s: %w", pc, in, err)
+			}
+			cost = c
+			pe.Stats.ScalarOps++
+		} else {
+			c, npc, err := pe.execScalar(in, pc)
+			if err != nil {
+				return fmt.Errorf("soda: pc=%d %s: %w", pc, in, err)
+			}
+			if npc < 0 { // HALT
+				if pe.Trace != nil {
+					fmt.Fprintf(pe.Trace, "%6d  pc=%-4d %-26s ; %d cycles\n",
+						pe.Stats.Cycles, pc, in.String(), c)
+				}
+				pe.Stats.Cycles += c
+				pe.Stats.Instructions++
+				pe.Stats.ScalarOps++
+				return nil
+			}
+			cost, next = c, npc
+			pe.Stats.ScalarOps++
+		}
+		if pe.Trace != nil {
+			fmt.Fprintf(pe.Trace, "%6d  pc=%-4d %-26s ; %d cycles\n",
+				pe.Stats.Cycles, pc, in.String(), cost)
+		}
+		pe.Stats.Cycles += cost
+		pe.Stats.Instructions++
+		pc = next
+	}
+	return nil
+}
+
+// execVector executes one SIMD instruction and returns its cycle cost.
+func (pe *PE) execVector(in Instruction) (int, error) {
+	mem := pe.Clock.memCycles()
+	switch in.Op {
+	case VLOAD:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, err
+		}
+		if err := pe.Mem.ReadRow(int(pe.SRF[in.A]), pe.VRF[in.Dst][:]); err != nil {
+			return 0, err
+		}
+		pe.Stats.MemRowOps++
+		return mem, nil
+	case VSTORE:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, err
+		}
+		if err := pe.Mem.WriteRow(int(pe.SRF[in.A]), pe.VRF[in.Dst][:]); err != nil {
+			return 0, err
+		}
+		pe.Stats.MemRowOps++
+		return mem, nil
+	case VGATHER:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, err
+		}
+		if err := checkSReg(in.B); err != nil {
+			return 0, err
+		}
+		rows, err := pe.Mem.Gather(int(pe.SRF[in.A]), int(int16(pe.SRF[in.B])), pe.VRF[in.Dst][:])
+		if err != nil {
+			return 0, err
+		}
+		pe.Stats.MemRowOps += rows
+		pe.Stats.GatherRows += rows
+		pe.Stats.SSNRoutes++ // alignment pass through the crossbar
+		return rows * mem, nil
+	case VBCAST:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, err
+		}
+		v := pe.SRF[in.A]
+		for l := range pe.VRF[in.Dst] {
+			pe.VRF[in.Dst][l] = v
+		}
+		return 1, nil
+	case VSHUF:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkVReg(in.A); err != nil {
+			return 0, err
+		}
+		if err := pe.SSN.Select(in.Imm); err != nil {
+			return 0, err
+		}
+		var tmp [Lanes]uint16
+		if err := pe.SSN.Route(pe.VRF[in.A][:], tmp[:]); err != nil {
+			return 0, err
+		}
+		pe.VRF[in.Dst] = tmp
+		pe.Stats.SSNRoutes++
+		return 1, nil
+	case VREDSUM:
+		if err := checkSReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkVReg(in.A); err != nil {
+			return 0, err
+		}
+		var sum uint16
+		for _, v := range pe.VRF[in.A] {
+			sum += v
+		}
+		pe.SRF[in.Dst] = sum
+		pe.Stats.TreeOps++
+		return 2, nil
+	case VREDGRP:
+		if err := checkVReg(in.Dst); err != nil {
+			return 0, err
+		}
+		if err := checkVReg(in.A); err != nil {
+			return 0, err
+		}
+		if in.Imm < 0 || in.Imm > 7 {
+			return 0, fmt.Errorf("vredgrp group log2 %d outside [0, 7]", in.Imm)
+		}
+		group := 1 << in.Imm
+		var out [Lanes]uint16
+		for base := 0; base < Lanes; base += group {
+			var sum uint16
+			for l := base; l < base+group; l++ {
+				sum += pe.VRF[in.A][l]
+			}
+			for l := base; l < base+group; l++ {
+				out[l] = sum
+			}
+		}
+		pe.VRF[in.Dst] = out
+		pe.Stats.TreeOps++
+		return 2, nil
+	}
+
+	// Lane-wise ALU/MULT forms.
+	if err := checkVReg(in.Dst); err != nil {
+		return 0, err
+	}
+	if err := checkVReg(in.A); err != nil {
+		return 0, err
+	}
+	needB := false
+	switch in.Op {
+	case VADD, VSUB, VMUL, VMAC, VAND, VOR, VXOR, VMIN, VMAX, VCMPLT, VSEL:
+		needB = true
+	}
+	if needB {
+		if err := checkVReg(in.B); err != nil {
+			return 0, err
+		}
+	}
+	cost := 1
+	for l := 0; l < Lanes; l++ {
+		a := pe.VRF[in.A][l]
+		var b uint16
+		if needB {
+			b = pe.VRF[in.B][l]
+		}
+		switch in.Op {
+		case VADD:
+			pe.VRF[in.Dst][l] = a + b
+		case VSUB:
+			pe.VRF[in.Dst][l] = a - b
+		case VMUL:
+			pe.VRF[in.Dst][l] = uint16(int16(a) * int16(b))
+			cost = 2
+		case VMAC:
+			pe.VRF[in.Dst][l] += uint16(int16(a) * int16(b))
+			cost = 2
+		case VAND:
+			pe.VRF[in.Dst][l] = a & b
+		case VOR:
+			pe.VRF[in.Dst][l] = a | b
+		case VXOR:
+			pe.VRF[in.Dst][l] = a ^ b
+		case VSLL:
+			pe.VRF[in.Dst][l] = a << uint(in.Imm&15)
+		case VSRL:
+			pe.VRF[in.Dst][l] = a >> uint(in.Imm&15)
+		case VSRA:
+			pe.VRF[in.Dst][l] = uint16(int16(a) >> uint(in.Imm&15))
+		case VMIN:
+			if int16(a) < int16(b) {
+				pe.VRF[in.Dst][l] = a
+			} else {
+				pe.VRF[in.Dst][l] = b
+			}
+		case VMAX:
+			if int16(a) > int16(b) {
+				pe.VRF[in.Dst][l] = a
+			} else {
+				pe.VRF[in.Dst][l] = b
+			}
+		case VCMPLT:
+			if int16(a) < int16(b) {
+				pe.VRF[in.Dst][l] = 1
+			} else {
+				pe.VRF[in.Dst][l] = 0
+			}
+		case VSEL:
+			if pe.VRF[in.Dst][l] != 0 {
+				pe.VRF[in.Dst][l] = a
+			} else {
+				pe.VRF[in.Dst][l] = b
+			}
+		default:
+			return 0, fmt.Errorf("unimplemented vector opcode %s", in.Op)
+		}
+	}
+	return cost, nil
+}
+
+// execScalar executes one scalar instruction; it returns the cycle cost
+// and the next pc (-1 means HALT).
+func (pe *PE) execScalar(in Instruction, pc int) (cost, next int, err error) {
+	mem := pe.Clock.memCycles()
+	next = pc + 1
+	switch in.Op {
+	case SLI:
+		if err := checkSReg(in.Dst); err != nil {
+			return 0, 0, err
+		}
+		pe.SRF[in.Dst] = uint16(in.Imm)
+		return 1, next, nil
+	case SADD, SSUB, SMUL:
+		if err := checkSReg(in.Dst); err != nil {
+			return 0, 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, 0, err
+		}
+		if err := checkSReg(in.B); err != nil {
+			return 0, 0, err
+		}
+		a, b := pe.SRF[in.A], pe.SRF[in.B]
+		switch in.Op {
+		case SADD:
+			pe.SRF[in.Dst] = a + b
+		case SSUB:
+			pe.SRF[in.Dst] = a - b
+		case SMUL:
+			pe.SRF[in.Dst] = uint16(int16(a) * int16(b))
+		}
+		return 1, next, nil
+	case SADDI:
+		if err := checkSReg(in.Dst); err != nil {
+			return 0, 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, 0, err
+		}
+		pe.SRF[in.Dst] = pe.SRF[in.A] + uint16(in.Imm)
+		return 1, next, nil
+	case SLD:
+		if err := checkSReg(in.Dst); err != nil {
+			return 0, 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, 0, err
+		}
+		addr := int(pe.SRF[in.A]) + in.Imm
+		if addr < 0 || addr >= ScalarWords {
+			return 0, 0, fmt.Errorf("scalar load address %d outside memory", addr)
+		}
+		pe.SRF[in.Dst] = pe.SMem[addr]
+		return mem, next, nil
+	case SST:
+		if err := checkSReg(in.Dst); err != nil {
+			return 0, 0, err
+		}
+		if err := checkSReg(in.A); err != nil {
+			return 0, 0, err
+		}
+		addr := int(pe.SRF[in.A]) + in.Imm
+		if addr < 0 || addr >= ScalarWords {
+			return 0, 0, fmt.Errorf("scalar store address %d outside memory", addr)
+		}
+		pe.SMem[addr] = pe.SRF[in.Dst]
+		return mem, next, nil
+	case BNE, BLT:
+		if err := checkSReg(in.A); err != nil {
+			return 0, 0, err
+		}
+		if err := checkSReg(in.B); err != nil {
+			return 0, 0, err
+		}
+		taken := false
+		if in.Op == BNE {
+			taken = pe.SRF[in.A] != pe.SRF[in.B]
+		} else {
+			taken = int16(pe.SRF[in.A]) < int16(pe.SRF[in.B])
+		}
+		if taken {
+			next = in.Imm
+		}
+		return 1, next, nil
+	case JMP:
+		return 1, in.Imm, nil
+	case NOP:
+		return 1, next, nil
+	case HALT:
+		return 1, -1, nil
+	default:
+		return 0, 0, fmt.Errorf("unimplemented scalar opcode %s", in.Op)
+	}
+}

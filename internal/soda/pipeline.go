@@ -1,0 +1,91 @@
+package soda
+
+import "fmt"
+
+// Pipeline models the SIMD datapath's issue timing: a depth-stage
+// in-order pipeline with configurable forwarding. When attached to a PE
+// (PE.Pipe), every vector instruction is charged the read-after-write
+// stalls a real pipeline would insert between dependent operations, on
+// top of the base operation cost — which is what makes the
+// flush-recovery penalty of internal/timingerr (a full refill of Depth
+// stages) concrete rather than an arbitrary constant.
+//
+// The model tracks, per vector register, the cycle at which its last
+// writer's result becomes available:
+//
+//	available = issueCycle + execLatency + (Depth − ForwardStage)
+//
+// with ForwardStage = Depth meaning full forwarding (results usable the
+// cycle after execution) and 0 meaning no forwarding (results usable
+// only after writeback).
+type Pipeline struct {
+	Depth        int // total pipeline stages (≥ 1)
+	ForwardStage int // how early results forward: Depth = full, 0 = none
+
+	ready [VRegs]int // cycle at which each vector register is ready
+	now   int        // current issue cycle
+}
+
+// NewPipeline returns a pipeline with full forwarding.
+func NewPipeline(depth int) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Pipeline{Depth: depth, ForwardStage: depth}
+}
+
+// Validate reports whether the configuration is consistent.
+func (p *Pipeline) Validate() error {
+	if p.Depth < 1 {
+		return fmt.Errorf("soda: pipeline depth %d must be ≥ 1", p.Depth)
+	}
+	if p.ForwardStage < 0 || p.ForwardStage > p.Depth {
+		return fmt.Errorf("soda: forward stage %d outside [0, %d]", p.ForwardStage, p.Depth)
+	}
+	return nil
+}
+
+// Reset clears the hazard state.
+func (p *Pipeline) Reset() {
+	p.ready = [VRegs]int{}
+	p.now = 0
+}
+
+// Issue accounts one vector instruction reading srcs and writing dst
+// (pass -1 for unused operands) with the given execution latency, and
+// returns the stall cycles inserted before it could issue.
+func (p *Pipeline) Issue(dst int, srcs []int, execLatency int) int {
+	earliest := p.now
+	for _, s := range srcs {
+		if s >= 0 && s < VRegs && p.ready[s] > earliest {
+			earliest = p.ready[s]
+		}
+	}
+	stall := earliest - p.now
+	issue := earliest
+	if dst >= 0 && dst < VRegs {
+		p.ready[dst] = issue + execLatency + (p.Depth - p.ForwardStage)
+	}
+	p.now = issue + 1
+	return stall
+}
+
+// vectorOperands returns the vector-register reads and write of a
+// vector instruction (-1 where a field does not name a vector register).
+func vectorOperands(in Instruction) (dst int, srcs []int) {
+	switch in.Op {
+	case VLOAD, VGATHER, VBCAST, VLOADB:
+		return in.Dst, nil
+	case VSTORE, VSTOREB:
+		return -1, []int{in.Dst}
+	case VREDSUM:
+		return -1, []int{in.A}
+	case VSHUF, VSLL, VSRL, VSRA, VREDGRP:
+		return in.Dst, []int{in.A}
+	case VMAC, VSEL:
+		// Read-modify-write forms also read their destination.
+		return in.Dst, []int{in.Dst, in.A, in.B}
+	default:
+		return in.Dst, []int{in.A, in.B}
+	}
+}

@@ -1,0 +1,266 @@
+// Package sparing implements structural duplication (§4.1): sizing the
+// number of spare SIMD functional units needed to tolerate
+// variation-induced timing errors at near-threshold voltage, and the
+// comparison between global and local spare placement (Appendix D).
+package sparing
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/simd"
+)
+
+// SearchResult reports a spare-count search.
+type SearchResult struct {
+	Spares  int     // minimal spare count meeting the target, or limit+1 if not found
+	Found   bool    // false if even the limit did not meet the target
+	P99     float64 // 99% FO4 chip delay achieved at Spares (or at the limit)
+	Target  float64 // 99% FO4 chip delay target (baseline at nominal voltage)
+	Samples int
+}
+
+// String renders the outcome like the paper's Table 1 rows.
+func (s SearchResult) String() string {
+	if !s.Found {
+		return fmt.Sprintf(">%d spares (p99 %.2f FO4 > target %.2f)", s.Spares-1, s.P99, s.Target)
+	}
+	return fmt.Sprintf("%d spares (p99 %.2f FO4 ≤ target %.2f)", s.Spares, s.P99, s.Target)
+}
+
+// MinSpares finds the minimal spare count α such that the 99 % FO4 chip
+// delay of dp at supply vdd with α spares does not exceed targetFO4 (the
+// baseline 99 % FO4 chip delay at nominal voltage, per §4.1). The search
+// evaluates a doubling ladder followed by a bisection, reusing one
+// lane-delay sample set throughout so the curve is monotone in α.
+// limit caps the search (the paper reports "> 128" beyond the SIMD width).
+func MinSpares(dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, limit int) SearchResult {
+	res := SearchResult{Target: targetFO4, Samples: n}
+	// Build the ladder of candidate spare counts: 0, 1, 2, 4, ..., limit.
+	var ladder []int
+	for a := 0; a <= limit; {
+		ladder = append(ladder, a)
+		switch {
+		case a == 0:
+			a = 1
+		default:
+			a *= 2
+		}
+	}
+	if ladder[len(ladder)-1] != limit {
+		ladder = append(ladder, limit)
+	}
+	curve := dp.SpareCurve(seed, n, vdd, ladder)
+
+	// Find the first ladder point meeting the target.
+	hitIdx := -1
+	for i, p99 := range curve {
+		if p99 <= targetFO4 {
+			hitIdx = i
+			break
+		}
+	}
+	if hitIdx == -1 {
+		res.Spares = limit + 1
+		res.P99 = curve[len(curve)-1]
+		return res
+	}
+	res.Found = true
+	if hitIdx == 0 {
+		res.Spares = ladder[0]
+		res.P99 = curve[0]
+		return res
+	}
+
+	// Bisect between the last failing and first passing ladder points.
+	lo, hi := ladder[hitIdx-1], ladder[hitIdx] // lo fails, hi passes
+	p99hi := curve[hitIdx]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		p99 := dp.SpareCurve(seed, n, vdd, []int{mid})[0]
+		if p99 <= targetFO4 {
+			hi, p99hi = mid, p99
+		} else {
+			lo = mid
+		}
+	}
+	res.Spares = hi
+	res.P99 = p99hi
+	return res
+}
+
+// Placement describes a spare-placement policy for repairability
+// analysis: how spare FUs are associated with (clusters of) SIMD lanes.
+type Placement interface {
+	// Repairable reports whether the set of faulty lane indices can all
+	// be replaced by spares under this placement.
+	Repairable(faulty []int) bool
+	// Spares returns the total number of spare FUs the placement uses.
+	Spares() int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Global places all spares in a shared pool reachable from any lane
+// through the XRAM crossbar (Appendix D): any faulty lane can be
+// replaced while faults ≤ spares.
+type Global struct {
+	NumSpares int
+}
+
+// Name implements Placement.
+func (g Global) Name() string { return fmt.Sprintf("global(%d)", g.NumSpares) }
+
+// Spares implements Placement.
+func (g Global) Spares() int { return g.NumSpares }
+
+// Repairable implements Placement.
+func (g Global) Repairable(faulty []int) bool { return len(faulty) <= g.NumSpares }
+
+// Local groups lanes into fixed clusters of ClusterSize with
+// SparesPerCluster spares each (Synctium's scheme is ClusterSize = 4,
+// SparesPerCluster = 1). A cluster with more faults than its own spares
+// is unrepairable regardless of idle spares elsewhere.
+type Local struct {
+	Lanes            int
+	ClusterSize      int
+	SparesPerCluster int
+}
+
+// Name implements Placement.
+func (l Local) Name() string {
+	return fmt.Sprintf("local(%d per %d)", l.SparesPerCluster, l.ClusterSize)
+}
+
+// Spares implements Placement.
+func (l Local) Spares() int {
+	clusters := (l.Lanes + l.ClusterSize - 1) / l.ClusterSize
+	return clusters * l.SparesPerCluster
+}
+
+// Repairable implements Placement.
+func (l Local) Repairable(faulty []int) bool {
+	counts := make(map[int]int)
+	for _, lane := range faulty {
+		counts[lane/l.ClusterSize]++
+	}
+	for _, c := range counts {
+		if c > l.SparesPerCluster {
+			return false
+		}
+	}
+	return true
+}
+
+// IndependentCoverage returns the probability that a chip whose lanes
+// fail independently with probability p is fully repairable under the
+// placement, computed exactly from binomial laws (no Monte Carlo).
+func IndependentCoverage(pl Placement, lanes int, p float64) float64 {
+	switch v := pl.(type) {
+	case Global:
+		return binomialCDF(lanes, p, v.NumSpares)
+	case Local:
+		clusters := lanes / v.ClusterSize
+		per := binomialCDF(v.ClusterSize, p, v.SparesPerCluster)
+		cov := math.Pow(per, float64(clusters))
+		if rem := lanes % v.ClusterSize; rem > 0 {
+			cov *= binomialCDF(rem, p, v.SparesPerCluster)
+		}
+		return cov
+	case Segmented:
+		segments := lanes / v.SegmentSize
+		per := binomialCDF(v.SegmentSize, p, v.SparesPerSegment)
+		cov := math.Pow(per, float64(segments))
+		if rem := lanes % v.SegmentSize; rem > 0 {
+			cov *= binomialCDF(rem, p, v.SparesPerSegment)
+		}
+		return cov
+	default:
+		panic(fmt.Sprintf("sparing: IndependentCoverage: unknown placement %T", pl))
+	}
+}
+
+// binomialCDF returns P(Bin(n, p) ≤ k).
+func binomialCDF(n int, p float64, k int) float64 {
+	if k >= n {
+		return 1
+	}
+	if k < 0 {
+		return 0
+	}
+	q := 1 - p
+	// Iterate pmf terms in log space for numerical robustness.
+	logP, logQ := math.Log(p), math.Log(q)
+	var cdf float64
+	logC := 0.0 // log C(n, 0)
+	for i := 0; i <= k; i++ {
+		cdf += math.Exp(logC + float64(i)*logP + float64(n-i)*logQ)
+		logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf
+}
+
+// BurstCoverage estimates by Monte Carlo the probability that a chip is
+// repairable when faults arrive as a contiguous burst of the given
+// length at a uniformly random start lane (modeling spatially clustered
+// defects, the failure mode that defeats local sparing). Exact for the
+// placements above but kept as MC so arbitrary placements compose.
+func BurstCoverage(pl Placement, lanes, burstLen int, seed uint64, trials int) float64 {
+	if burstLen <= 0 {
+		return 1
+	}
+	r := rng.New(seed)
+	ok := 0
+	faulty := make([]int, burstLen)
+	for t := 0; t < trials; t++ {
+		start := r.IntN(lanes)
+		for i := range faulty {
+			faulty[i] = (start + i) % lanes
+		}
+		if pl.Repairable(faulty) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// Segmented is the middle ground between Global and Local: lanes are
+// grouped into segments of SegmentSize, each with its own pool of
+// SparesPerSegment spares reachable through a segment-local crossbar.
+// Larger segments approach Global's burst tolerance at lower routing
+// cost than a full 128×128 XRAM; SegmentSize = Lanes recovers Global,
+// SegmentSize = ClusterSize with one spare recovers Local.
+type Segmented struct {
+	Lanes            int
+	SegmentSize      int
+	SparesPerSegment int
+}
+
+// Name implements Placement.
+func (s Segmented) Name() string {
+	return fmt.Sprintf("segmented(%d per %d)", s.SparesPerSegment, s.SegmentSize)
+}
+
+// Spares implements Placement.
+func (s Segmented) Spares() int {
+	segments := (s.Lanes + s.SegmentSize - 1) / s.SegmentSize
+	return segments * s.SparesPerSegment
+}
+
+// Repairable implements Placement.
+func (s Segmented) Repairable(faulty []int) bool {
+	counts := make(map[int]int)
+	for _, lane := range faulty {
+		counts[lane/s.SegmentSize]++
+	}
+	for _, c := range counts {
+		if c > s.SparesPerSegment {
+			return false
+		}
+	}
+	return true
+}

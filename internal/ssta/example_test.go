@@ -1,0 +1,24 @@
+package ssta_test
+
+import (
+	"fmt"
+
+	"github.com/ntvsim/ntvsim/internal/ssta"
+)
+
+// ExampleClark propagates two Gaussian arrival times through a max node.
+func ExampleClark() {
+	a := ssta.Gaussian{Mu: 10, Sigma: 1}
+	b := ssta.Gaussian{Mu: 9, Sigma: 2}
+	m := ssta.Clark(a, b, 0)
+	fmt.Printf("max ≈ N(%.3f, %.3f)\n", m.Mu, m.Sigma)
+	// Output: max ≈ N(10.480, 1.128)
+}
+
+// ExampleMaxIID sizes the slowest of 100 identical critical paths.
+func ExampleMaxIID() {
+	path := ssta.Gaussian{Mu: 50, Sigma: 1.5}
+	lane := ssta.MaxIID(path, 100)
+	fmt.Printf("lane mean %.1f, p99 %.1f\n", lane.Mu, lane.Quantile(0.99))
+	// Output: lane mean 53.5, p99 54.5
+}

@@ -1,0 +1,99 @@
+// Package ssta implements moment-based statistical static timing
+// analysis (Clark's max approximation) as the analytic counterpart to
+// the repository's Monte-Carlo chip-delay engine.
+//
+// The paper sizes everything from Monte-Carlo distributions; an EDA
+// timing flow would instead propagate (μ, σ) pairs through max
+// operations using Clark's formulas (C. E. Clark, "The greatest of a
+// finite set of random variables", 1961). This package provides that
+// flow for the same lane/chip max-statistics and is validated against
+// the Monte-Carlo sampler in the tests — useful both as a cross-check
+// of the simulation and as a ~10⁴× faster estimator when only moments
+// are needed.
+package ssta
+
+import (
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+	"github.com/ntvsim/ntvsim/internal/stats"
+)
+
+// Gaussian is a (mean, standard deviation) moment pair.
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Clark returns the Clark approximation of max(X, Y) for jointly
+// Gaussian X, Y with correlation rho: the exact first two moments of
+// the max, re-interpreted as a Gaussian for further propagation.
+func Clark(x, y Gaussian, rho float64) Gaussian {
+	theta := math.Sqrt(x.Sigma*x.Sigma + y.Sigma*y.Sigma - 2*rho*x.Sigma*y.Sigma)
+	if theta == 0 {
+		// Perfectly correlated equal-variance operands: max is the
+		// larger-mean operand.
+		if x.Mu >= y.Mu {
+			return x
+		}
+		return y
+	}
+	alpha := (x.Mu - y.Mu) / theta
+	std := stats.Normal{Mu: 0, Sigma: 1}
+	cdf := std.CDF(alpha)
+	pdf := std.PDF(alpha)
+
+	m1 := x.Mu*cdf + y.Mu*(1-cdf) + theta*pdf
+	m2 := (x.Mu*x.Mu+x.Sigma*x.Sigma)*cdf +
+		(y.Mu*y.Mu+y.Sigma*y.Sigma)*(1-cdf) +
+		(x.Mu+y.Mu)*theta*pdf
+	v := m2 - m1*m1
+	if v < 0 {
+		v = 0
+	}
+	return Gaussian{Mu: m1, Sigma: math.Sqrt(v)}
+}
+
+// MaxIID returns the Clark-iterated approximation of the maximum of n
+// independent copies of g. Pairing is balanced (tournament order) —
+// iterating a tournament keeps the Gaussian re-interpretation error
+// far smaller than a linear fold.
+func MaxIID(g Gaussian, n int) Gaussian {
+	if n <= 1 {
+		return g
+	}
+	// Tournament: max of n = max(max of ⌈n/2⌉, max of ⌊n/2⌋).
+	hi := MaxIID(g, (n+1)/2)
+	lo := MaxIID(g, n/2)
+	return Clark(hi, lo, 0)
+}
+
+// Quantile evaluates the Gaussian quantile of g.
+func (g Gaussian) Quantile(p float64) float64 {
+	return stats.Normal{Mu: g.Mu, Sigma: g.Sigma}.Quantile(p)
+}
+
+// ChipModel carries the analytic datapath description: the per-path
+// delay moments conditional on the die-level variation, plus the
+// die-level spreads, mirroring internal/simd's sampler structure.
+type ChipModel struct {
+	Paths int // critical paths per lane
+	Lanes int
+
+	Dev      device.Params
+	Var      device.Variation
+	ChainLen int
+}
+
+// ChipP99 returns the analytic 99 % chip-delay estimate (seconds) at
+// supply vdd under the paper's iid-path model: the path law's moments
+// are computed by quadrature, lifted through two Clark tournaments
+// (paths → lane, lanes → chip), and the 99 % point read off the final
+// Gaussian.
+func (m ChipModel) ChipP99(vdd float64) float64 {
+	mean, variance := device.ChainMoments(m.Dev, m.Var, vdd, m.ChainLen)
+	path := Gaussian{Mu: mean, Sigma: math.Sqrt(variance)}
+	lane := MaxIID(path, m.Paths)
+	chip := MaxIID(lane, m.Lanes)
+	return chip.Quantile(0.99)
+}

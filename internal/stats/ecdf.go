@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. The sample is stored sorted.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts xs into an empirical CDF.
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of samples ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// we want strictly greater to count ties as ≤ x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile of the underlying sample.
+func (e *ECDF) Quantile(p float64) float64 {
+	return QuantileSorted(e.sorted, p)
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup |F1(x) − F2(x)| between samples xs and ys.
+func KSStatistic(xs, ys []float64) float64 {
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(a)), float64(len(b))
+	for i < len(a) && j < len(b) {
+		// Advance both samples through the current smallest value so
+		// ties are counted on both sides before comparing the CDFs.
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSTestNormal returns the one-sample KS statistic of xs against the
+// given Normal distribution.
+func KSTestNormal(xs []float64, dist Normal) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		f := dist.CDF(x)
+		hi := math.Abs(float64(i+1)/n - f)
+		lo := math.Abs(f - float64(i)/n)
+		if hi > d {
+			d = hi
+		}
+		if lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate large-sample critical value of the
+// two-sample KS statistic at significance alpha ∈ {0.10, 0.05, 0.01}.
+func KSCritical(n1, n2 int, alpha float64) float64 {
+	var c float64
+	switch {
+	case alpha <= 0.01:
+		c = 1.63
+	case alpha <= 0.05:
+		c = 1.36
+	default:
+		c = 1.22
+	}
+	return c * math.Sqrt(float64(n1+n2)/float64(n1*n2))
+}

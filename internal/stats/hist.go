@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Observations outside
+// the range are counted in Under/Over so no data is silently dropped —
+// the tails are exactly what the variation study cares about.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins on [lo, hi).
+// It panics if bins < 1 or hi ≤ lo, which indicate programming errors.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: NewHistogram bins = %d, need ≥ 1", bins))
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: NewHistogram range [%g, %g) is empty", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// HistogramOf builds a histogram spanning the sample range of xs with the
+// given number of bins and adds every sample.
+func HistogramOf(xs []float64, bins int) *Histogram {
+	lo, hi := MinMax(xs)
+	if math.IsNaN(lo) || lo == hi {
+		// Degenerate sample: widen artificially so the histogram is usable.
+		lo, hi = lo-0.5, lo+0.5
+	}
+	// Widen the top edge slightly so the maximum lands in the last bin.
+	h := NewHistogram(lo, hi+(hi-lo)*1e-9, bins)
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations added, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Render draws the histogram as rows of "center count bar" text with bars
+// scaled so the fullest bin spans width characters. It is used by the
+// experiment CLI to visualize the paper's distribution figures.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	peak := 0
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "%12s %6d\n", "<under>", h.Under)
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if peak > 0 {
+			bar = c * width / peak
+		}
+		fmt.Fprintf(&b, "%12.5g %6d %s\n", h.BinCenter(i), c, strings.Repeat("#", bar))
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "%12s %6d\n", "<over>", h.Over)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0, 0.5, 1, 5, 9.999, -1, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 2 { // 10 and 42 are both ≥ Hi
+		t.Errorf("Over = %d", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 0.5
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[9] != 1 { // 9.999
+		t.Errorf("bin9 = %d", h.Counts[9])
+	}
+}
+
+func TestHistogramOfCoversRange(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	h := HistogramOf(xs, 4)
+	if h.Under != 0 || h.Over != 0 {
+		t.Errorf("HistogramOf dropped samples: under=%d over=%d", h.Under, h.Over)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != len(xs) {
+		t.Errorf("binned %d of %d", sum, len(xs))
+	}
+}
+
+func TestHistogramDegenerateSample(t *testing.T) {
+	h := HistogramOf([]float64{7, 7, 7}, 5)
+	if h.Total() != 3 || h.Under+h.Over != 0 {
+		t.Error("degenerate sample mishandled")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(9); got != 9.5 {
+		t.Errorf("BinCenter(9) = %v", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(-1)
+	out := h.Render(10)
+	if !strings.Contains(out, "<under>") {
+		t.Error("render should show underflow")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("render should draw bars")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with bad range should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,174 @@
+// Package stats provides the descriptive statistics, distributions and
+// hypothesis tests used throughout the Monte-Carlo variation study:
+// moments, quantiles, histograms, empirical CDFs, the Gaussian and
+// log-normal distributions, and the Kolmogorov–Smirnov test.
+//
+// All functions operate on float64 samples. Unless stated otherwise they
+// do not modify their inputs; functions that need sorted data either sort
+// a copy or state the precondition explicitly.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns NaN for an empty
+// slice, mirroring the behaviour of the other moment functions.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs.
+// It returns NaN if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// ThreeSigmaOverMu returns the paper's headline variation metric
+// 3σ/μ expressed as a percentage: 100·3·StdDev(xs)/Mean(xs).
+func ThreeSigmaOverMu(xs []float64) float64 {
+	return 100 * 3 * StdDev(xs) / Mean(xs)
+}
+
+// MinMax returns the minimum and maximum of xs.
+// It returns (NaN, NaN) for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Summary bundles the descriptive statistics reported for every delay
+// distribution in the study.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P99    float64 // the paper's chip-delay operating point
+}
+
+// Summarize computes a Summary of xs. The slice is not modified.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.StdDev, s.Min, s.Max, s.P50, s.P99 = nan, nan, nan, nan, nan, nan
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min, s.Max = MinMax(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = QuantileSorted(sorted, 0.50)
+	s.P99 = QuantileSorted(sorted, 0.99)
+	return s
+}
+
+// ThreeSigmaOverMu returns 100·3σ/μ for the summarized sample.
+func (s Summary) ThreeSigmaOverMu() float64 {
+	return 100 * 3 * s.StdDev / s.Mean
+}
+
+// String renders the summary on one line, suitable for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g 3σ/μ=%.2f%% p50=%.6g p99=%.6g",
+		s.N, s.Mean, s.StdDev, s.ThreeSigmaOverMu(), s.P50, s.P99)
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// The input need not be sorted; a copy is sorted internally.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for data already sorted ascending.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	frac := h - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// QuantileCI returns a distribution-free confidence interval for the
+// p-quantile of the population underlying the sorted sample, at the
+// given confidence level (e.g. 0.95). It uses the normal approximation
+// to the binomial order-statistic bounds — the standard way to report
+// the Monte-Carlo noise on a 99 % delay point. The interval is clamped
+// to the sample range.
+func QuantileCI(sorted []float64, p, confidence float64) (lo, hi float64) {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if n == 1 {
+		return sorted[0], sorted[0]
+	}
+	z := Normal{Mu: 0, Sigma: 1}.Quantile(0.5 + confidence/2)
+	se := z * math.Sqrt(p*(1-p)*float64(n))
+	center := p * float64(n)
+	loIdx := int(math.Floor(center - se))
+	hiIdx := int(math.Ceil(center + se))
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if hiIdx > n-1 {
+		hiIdx = n - 1
+	}
+	return sorted[loIdx], sorted[hiIdx]
+}

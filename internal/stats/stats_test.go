@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of singleton should be NaN")
+	}
+	lo, hi := MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("MinMax(nil) should be NaN, NaN")
+	}
+}
+
+func TestThreeSigmaOverMu(t *testing.T) {
+	// Constant sample: zero variance.
+	xs := []float64{3, 3, 3, 3}
+	if got := ThreeSigmaOverMu(xs); got != 0 {
+		t.Errorf("3σ/μ of constant = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*2 + 10
+	}
+	s := Summarize(xs)
+	if !almostEqual(s.Mean, 10, 0.1) {
+		t.Errorf("mean = %v, want ≈10", s.Mean)
+	}
+	if !almostEqual(s.StdDev, 2, 0.1) {
+		t.Errorf("sd = %v, want ≈2", s.StdDev)
+	}
+	// p99 of Normal(10,2) is 10 + 2.326·2 ≈ 14.65.
+	if !almostEqual(s.P99, 14.65, 0.3) {
+		t.Errorf("p99 = %v, want ≈14.65", s.P99)
+	}
+	if s.Min > s.P50 || s.P50 > s.P99 || s.P99 > s.Max {
+		t.Error("summary ordering violated")
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestQuantileSortedMonotoneProperty(t *testing.T) {
+	// Property: quantile is monotone in p for any sample.
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Interpolation between order statistics of opposite sign
+			// near ±MaxFloat64 overflows; physical samples (delays in
+			// seconds) are far inside this bound.
+			if !math.IsNaN(x) && math.Abs(x) < 1e300 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := Quantile(xs, p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryOfEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.P99) {
+		t.Errorf("Summarize(nil) = %+v, want NaN fields", s)
+	}
+}
+
+func TestQuantileCICoverage(t *testing.T) {
+	// Empirical check: the 95% CI for the 0.99 quantile of a known
+	// normal must contain the true quantile in ≈95% of repetitions.
+	r := rand.New(rand.NewPCG(21, 22))
+	truth := Normal{Mu: 0, Sigma: 1}.Quantile(0.99)
+	const reps = 300
+	const n = 2000
+	covered := 0
+	for rep := 0; rep < reps; rep++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		sort.Float64s(xs)
+		lo, hi := QuantileCI(xs, 0.99, 0.95)
+		if lo <= truth && truth <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / reps
+	if rate < 0.90 || rate > 1.0 {
+		t.Errorf("CI coverage %v, want ≈0.95", rate)
+	}
+}
+
+func TestQuantileCIOrdering(t *testing.T) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	lo, hi := QuantileCI(xs, 0.99, 0.95)
+	point := QuantileSorted(xs, 0.99)
+	if !(lo <= point && point <= hi) {
+		t.Errorf("CI [%v, %v] should bracket point estimate %v", lo, hi, point)
+	}
+	if lo2, hi2 := QuantileCI(xs, 0.99, 0.99); lo2 > lo || hi2 < hi {
+		t.Error("higher confidence must widen the interval")
+	}
+}
+
+func TestQuantileCIDegenerate(t *testing.T) {
+	if lo, _ := QuantileCI(nil, 0.5, 0.95); !math.IsNaN(lo) {
+		t.Error("empty sample should give NaN")
+	}
+	lo, hi := QuantileCI([]float64{7}, 0.5, 0.95)
+	if lo != 7 || hi != 7 {
+		t.Error("singleton CI should collapse")
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import "math"
+
+// Stream accumulates moments of a sample one observation at a time using
+// Welford's numerically stable recurrence. The zero value is ready to use.
+// It is the building block for Monte-Carlo loops that must not retain all
+// samples in memory.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations added so far.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the running mean, or NaN if no observations were added.
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the running unbiased variance, or NaN if n < 2.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the running unbiased standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or NaN if none were added.
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN if none were added.
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// StdErr returns the standard error of the mean, σ/√n.
+func (s *Stream) StdErr() float64 {
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// ThreeSigmaOverMu returns 100·3σ/μ for the accumulated sample.
+func (s *Stream) ThreeSigmaOverMu() float64 {
+	return 100 * 3 * s.StdDev() / s.Mean()
+}
+
+// Merge combines another stream into s, as if every observation added to
+// o had been added to s. This supports parallel Monte-Carlo workers each
+// owning a private Stream.
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}

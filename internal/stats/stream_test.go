@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 5000)
+	var s Stream
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 3
+		s.Add(xs[i])
+	}
+	if !almostEqual(s.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("stream mean %v vs batch %v", s.Mean(), Mean(xs))
+	}
+	if !almostEqual(s.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("stream var %v vs batch %v", s.Variance(), Variance(xs))
+	}
+	lo, hi := MinMax(xs)
+	if s.Min() != lo || s.Max() != hi {
+		t.Error("stream min/max mismatch")
+	}
+	if s.N() != len(xs) {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestStreamZeroValue(t *testing.T) {
+	var s Stream
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Variance()) || !math.IsNaN(s.Min()) {
+		t.Error("empty stream should report NaN")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 {
+		t.Error("single observation mishandled")
+	}
+	if !math.IsNaN(s.Variance()) {
+		t.Error("variance of single observation should be NaN")
+	}
+}
+
+// TestStreamMergeProperty checks that merging partial streams is
+// equivalent to one big stream, for arbitrary splits — the invariant the
+// parallel Monte-Carlo engine relies on.
+func TestStreamMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var s1, s2, merged, whole Stream
+		for _, x := range a {
+			s1.Add(x)
+			whole.Add(x)
+		}
+		for _, x := range b {
+			s2.Add(x)
+			whole.Add(x)
+		}
+		merged.Merge(&s1)
+		merged.Merge(&s2)
+		if merged.N() != whole.N() {
+			return false
+		}
+		if merged.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		if !almostEqual(merged.Mean(), whole.Mean(), 1e-9*scale) {
+			return false
+		}
+		if whole.N() >= 2 {
+			vscale := math.Max(1, whole.Variance())
+			if !almostEqual(merged.Variance(), whole.Variance(), 1e-6*vscale) {
+				return false
+			}
+		}
+		return merged.Min() == whole.Min() && merged.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamStdErr(t *testing.T) {
+	var s Stream
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2)) // variance 0.25 (roughly), n=100
+	}
+	want := s.StdDev() / 10
+	if !almostEqual(s.StdErr(), want, 1e-12) {
+		t.Errorf("StdErr = %v, want %v", s.StdErr(), want)
+	}
+}

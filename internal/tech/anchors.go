@@ -1,0 +1,110 @@
+package tech
+
+// This file records the quantitative anchors printed in the paper that
+// the device calibration is fitted against (and that the test suite uses
+// as reproduction targets). Values are 3σ/μ in percent unless noted.
+
+// Anchor is one calibration target at a supply voltage.
+type Anchor struct {
+	Vdd   float64
+	Gate  float64 // 3σ/μ (%) of a single FO4 inverter delay; 0 if not reported
+	Chain float64 // 3σ/μ (%) of a 50-FO4-inverter chain delay
+}
+
+// CalibTargets collects everything the fit for one node uses.
+type CalibTargets struct {
+	NodeName string
+	Anchors  []Anchor
+
+	// DelayRatio constrains the shape of delay vs Vdd:
+	// τ(RatioLoV) / τ(RatioHiV) = DelayRatio. Zero disables the term.
+	RatioLoV, RatioHiV, DelayRatio float64
+
+	// FO4At pins the absolute delay scale: nominal FO4 delay (seconds)
+	// at FO4Vdd. Applied after the shape fit to set Kd.
+	FO4Vdd float64
+	FO4At  float64
+
+	// FitIter overrides the Nelder-Mead iteration budget per restart
+	// (default 4000). Tests use a small budget for smoke coverage.
+	FitIter int
+}
+
+// Targets90 are taken directly from Figure 1 (both panels), plus the
+// absolute chain delays quoted in §3.2: 50-FO4 chain = 22.05 ns @0.5 V
+// and 8.99 ns @0.6 V, giving FO4(0.6 V) = 179.8 ps and the delay ratio
+// τ(0.5)/τ(0.6) = 2.4527.
+func Targets90() CalibTargets {
+	return CalibTargets{
+		NodeName: "90nm GP",
+		Anchors: []Anchor{
+			{Vdd: 1.0, Gate: 15.58, Chain: 5.76},
+			{Vdd: 0.9, Gate: 15.70, Chain: 5.84},
+			{Vdd: 0.8, Gate: 16.29, Chain: 5.96},
+			{Vdd: 0.7, Gate: 17.74, Chain: 6.17},
+			{Vdd: 0.6, Gate: 22.25, Chain: 6.81},
+			{Vdd: 0.5, Gate: 35.49, Chain: 9.43},
+		},
+		RatioLoV: 0.5, RatioHiV: 0.6, DelayRatio: 22.05 / 8.99,
+		FO4Vdd: 0.6, FO4At: 179.8e-12,
+	}
+}
+
+// Targets45 holds the 45 nm chain targets. The paper reports the 45 nm
+// curve only graphically (Figure 2); these values are read consistently
+// with the narrated facts: the curve lies between 90 nm and 32 nm, all
+// curves rise steeply below 0.6 V, and 90 nm → 22 nm is ≈2.5× at 0.55 V.
+func Targets45() CalibTargets {
+	return CalibTargets{
+		NodeName: "45nm GP",
+		Anchors: []Anchor{
+			{Vdd: 1.0, Chain: 6.3},
+			{Vdd: 0.9, Chain: 6.7},
+			{Vdd: 0.8, Chain: 7.3},
+			{Vdd: 0.7, Chain: 8.4},
+			{Vdd: 0.6, Chain: 10.5},
+			{Vdd: 0.55, Chain: 12.5},
+			{Vdd: 0.5, Chain: 16.0},
+		},
+		FO4Vdd: 1.0, FO4At: 16e-12,
+	}
+}
+
+// Targets32 holds the 32 nm PTM HP chain targets (Figure 2, read as for
+// Targets45; simulated only up to the 0.9 V nominal).
+func Targets32() CalibTargets {
+	return CalibTargets{
+		NodeName: "32nm PTM HP",
+		Anchors: []Anchor{
+			{Vdd: 0.9, Chain: 8.5},
+			{Vdd: 0.8, Chain: 9.5},
+			{Vdd: 0.7, Chain: 11.5},
+			{Vdd: 0.6, Chain: 15.0},
+			{Vdd: 0.55, Chain: 17.5},
+			{Vdd: 0.5, Chain: 21.0},
+		},
+		FO4Vdd: 0.9, FO4At: 18e-12,
+	}
+}
+
+// Targets22 holds the 22 nm PTM HP chain targets. The endpoints are
+// stated numerically in §3.1: ≈11 % at the 0.8 V nominal rising to 25 %
+// at 0.5 V.
+func Targets22() CalibTargets {
+	return CalibTargets{
+		NodeName: "22nm PTM HP",
+		Anchors: []Anchor{
+			{Vdd: 0.8, Chain: 11.0},
+			{Vdd: 0.7, Chain: 13.5},
+			{Vdd: 0.6, Chain: 17.5},
+			{Vdd: 0.55, Chain: 20.0},
+			{Vdd: 0.5, Chain: 25.0},
+		},
+		FO4Vdd: 0.8, FO4At: 20e-12,
+	}
+}
+
+// AllTargets returns the calibration targets in node order.
+func AllTargets() []CalibTargets {
+	return []CalibTargets{Targets90(), Targets45(), Targets32(), Targets22()}
+}

@@ -1,0 +1,142 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+	"github.com/ntvsim/ntvsim/internal/optimize"
+)
+
+// FitResult reports a calibration outcome: the fitted parameters and the
+// per-anchor residuals, so the quality of the reproduction is auditable.
+type FitResult struct {
+	Node      string
+	Dev       device.Params
+	Var       device.Variation
+	Objective float64
+	Rows      []FitRow
+}
+
+// FitRow compares one anchor against the fitted model.
+type FitRow struct {
+	Vdd                   float64
+	GateTarget, GateFit   float64 // 3σ/μ %, 0 target means "not fitted"
+	ChainTarget, ChainFit float64 // 3σ/μ %
+}
+
+// String renders the fit report as an aligned table.
+func (r FitResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: obj=%.4g Vth0=%.4f n=%.3f Kd=%.4g\n", r.Node, r.Objective, r.Dev.Vth0, r.Dev.N, r.Dev.Kd)
+	fmt.Fprintf(&b, "  σVth(WID)=%.1f mV σVth(D2D)=%.1f mV σMul(WID)=%.3f σMul(D2D)=%.3f\n",
+		r.Var.SigmaVthWID*1e3, r.Var.SigmaVthD2D*1e3, r.Var.SigmaMulWID, r.Var.SigmaMulD2D)
+	fmt.Fprintf(&b, "  %6s %18s %18s\n", "Vdd", "gate 3σ/μ tgt→fit", "chain 3σ/μ tgt→fit")
+	for _, row := range r.Rows {
+		gate := "      —      "
+		if row.GateTarget > 0 {
+			gate = fmt.Sprintf("%6.2f→%-6.2f", row.GateTarget, row.GateFit)
+		}
+		fmt.Fprintf(&b, "  %6.2f %18s %11.2f→%-6.2f\n", row.Vdd, gate, row.ChainTarget, row.ChainFit)
+	}
+	return b.String()
+}
+
+// dualSlopeRatio is the prior ratio of die-to-die to within-die sigma
+// used to regularize nodes whose targets cannot separate the two
+// components (no single-gate anchors). The value comes from the 90 nm
+// fit, where Figure 1 pins both.
+const dualSlopeRatio = 0.375
+
+// Fit calibrates device and variation parameters against t using
+// Nelder–Mead on the quadrature-based moment model. The returned Kd is
+// set so the nominal FO4 delay matches t.FO4At at t.FO4Vdd.
+func Fit(t CalibTargets) FitResult {
+	hasGate := false
+	for _, a := range t.Anchors {
+		if a.Gate > 0 {
+			hasGate = true
+		}
+	}
+
+	objective := func(x []float64) float64 {
+		p := device.Params{Vth0: x[0], N: x[1], Kd: 1}
+		v := device.Variation{
+			SigmaVthWID: x[2], SigmaVthD2D: x[3],
+			SigmaMulWID: x[4], SigmaMulD2D: x[5],
+		}
+		if p.Vth0 < 0.10 || p.Vth0 > 0.60 || p.N < 1.0 || p.N > 2.5 {
+			return math.Inf(1)
+		}
+		for _, s := range x[2:6] {
+			if s < 0 || s > 0.2 {
+				return math.Inf(1)
+			}
+		}
+		var obj float64
+		for _, a := range t.Anchors {
+			if a.Gate > 0 {
+				gm, gv := device.GateMoments(p, v, a.Vdd)
+				r := (device.ThreeSigmaOverMu(gm, gv) - a.Gate) / a.Gate
+				obj += r * r
+			}
+			cm, cv := device.ChainMoments(p, v, a.Vdd, ChainLength)
+			r := (device.ThreeSigmaOverMu(cm, cv) - a.Chain) / a.Chain
+			obj += 2 * r * r
+		}
+		if t.DelayRatio > 0 {
+			ratio := p.NominalDelay(t.RatioLoV) / p.NominalDelay(t.RatioHiV)
+			r := (ratio - t.DelayRatio) / t.DelayRatio
+			obj += 4 * r * r
+		}
+		// Weak priors keeping the D2D/WID split identifiable when the
+		// targets alone cannot separate it.
+		w := 0.05
+		if !hasGate {
+			w = 1.0
+		}
+		if x[2] > 0 {
+			r := x[3]/x[2] - dualSlopeRatio
+			obj += w * r * r
+		}
+		if x[4] > 0 {
+			r := x[5]/x[4] - dualSlopeRatio
+			obj += w * r * r
+		}
+		return obj
+	}
+
+	iters := t.FitIter
+	if iters <= 0 {
+		iters = 4000
+	}
+	x0 := []float64{0.33, 1.45, 0.025, 0.010, 0.035, 0.013}
+	best := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+		MaxIter: iters, TolF: 1e-12, TolX: 1e-9, Scale: 0.02,
+	})
+	// Restart from the optimum: Nelder–Mead on 6 dimensions benefits
+	// from a fresh simplex around the first solution.
+	best = optimize.NelderMead(objective, best.X, optimize.NelderMeadOptions{
+		MaxIter: iters, TolF: 1e-12, TolX: 1e-9, Scale: 0.005,
+	})
+
+	p := device.Params{Vth0: best.X[0], N: best.X[1], Kd: 1}
+	v := device.Variation{
+		SigmaVthWID: best.X[2], SigmaVthD2D: best.X[3],
+		SigmaMulWID: best.X[4], SigmaMulD2D: best.X[5],
+	}
+	// Pin the absolute delay scale: Kd such that NominalDelay(FO4Vdd) = FO4At.
+	p.Kd = t.FO4At * p.OnCurrent(t.FO4Vdd, p.Vth0) / t.FO4Vdd
+
+	res := FitResult{Node: t.NodeName, Dev: p, Var: v, Objective: best.F}
+	for _, a := range t.Anchors {
+		row := FitRow{Vdd: a.Vdd, GateTarget: a.Gate, ChainTarget: a.Chain}
+		gm, gv := device.GateMoments(p, v, a.Vdd)
+		row.GateFit = device.ThreeSigmaOverMu(gm, gv)
+		cm, cv := device.ChainMoments(p, v, a.Vdd, ChainLength)
+		row.ChainFit = device.ThreeSigmaOverMu(cm, cv)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}

@@ -1,0 +1,86 @@
+// Package tech defines the four technology nodes studied in the paper —
+// 90 nm GP, 45 nm GP, 32 nm PTM HP and 22 nm PTM HP — as calibrated
+// parameter sets for the internal/device models, together with the
+// paper-reported anchor values the calibration was fitted against.
+//
+// The committed parameters were produced by cmd/calibrate (Nelder–Mead
+// against the anchors in anchors.go) and are checked in as constants so
+// that every experiment is deterministic and does not depend on running
+// the fit. Re-running cmd/calibrate regenerates them.
+package tech
+
+import (
+	"fmt"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+)
+
+// Node is one calibrated technology corner.
+type Node struct {
+	Name       string  // e.g. "90nm GP"
+	Feature    int     // drawn feature size, nm
+	Model      string  // "GP" (commercial general purpose) or "PTM HP"
+	VddNominal float64 // full/nominal supply voltage, V (the paper's "FV")
+	VddMin     float64 // lowest supply simulated in the paper, V
+
+	Dev device.Params
+	Var device.Variation
+}
+
+// Nodes returns the four technology nodes in feature-size order
+// (largest first), matching the paper's presentation order.
+func Nodes() []Node {
+	return []Node{N90, N45, N32, N22}
+}
+
+// ByName returns the node with the given name (e.g. "90nm GP", "22nm PTM HP")
+// or an error listing the valid names. Matching also accepts the short
+// form "90nm", "45nm", "32nm", "22nm".
+func ByName(name string) (Node, error) {
+	for _, n := range Nodes() {
+		if n.Name == name || fmt.Sprintf("%dnm", n.Feature) == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("tech: unknown node %q (want one of 90nm, 45nm, 32nm, 22nm)", name)
+}
+
+// The calibrated nodes. Parameters are fitted by cmd/calibrate; see
+// anchors.go for the targets and DESIGN.md for the model derivation.
+var (
+	// N90 is the 90 nm commercial general-purpose model, the paper's
+	// primary technology (Figures 1, 3, 5; 1.0 V nominal).
+	N90 = Node{
+		Name: "90nm GP", Feature: 90, Model: "GP",
+		VddNominal: 1.0, VddMin: 0.5,
+		Dev: device.Params{Vth0: 0.370136, N: 1.000000, Kd: 5.954886e-09, DIBL: 0.08, IleakK: 300},
+		Var: device.Variation{SigmaVthWID: 0.007161, SigmaVthD2D: 0.001459, SigmaMulWID: 0.040213, SigmaMulD2D: 0.017053},
+	}
+	// N45 is the 45 nm commercial general-purpose model (1.0 V nominal).
+	N45 = Node{
+		Name: "45nm GP", Feature: 45, Model: "GP",
+		VddNominal: 1.0, VddMin: 0.5,
+		Dev: device.Params{Vth0: 0.378478, N: 1.000000, Kd: 2.312344e-09, DIBL: 0.10, IleakK: 250},
+		Var: device.Variation{SigmaVthWID: 0.008463, SigmaVthD2D: 0.003173, SigmaMulWID: 0.045097, SigmaMulD2D: 0.016914},
+	}
+	// N32 is the 32 nm PTM high-performance predictive model
+	// (0.9 V nominal; the paper simulates it only up to 0.9 V).
+	N32 = Node{
+		Name: "32nm PTM HP", Feature: 32, Model: "PTM HP",
+		VddNominal: 0.9, VddMin: 0.5,
+		Dev: device.Params{Vth0: 0.409726, N: 1.493027, Kd: 8.072892e-10, DIBL: 0.12, IleakK: 40},
+		Var: device.Variation{SigmaVthWID: 0.011987, SigmaVthD2D: 0.004495, SigmaMulWID: 0.050730, SigmaMulD2D: 0.019024},
+	}
+	// N22 is the 22 nm PTM high-performance predictive model
+	// (0.8 V nominal; the paper simulates it only up to 0.8 V).
+	N22 = Node{
+		Name: "22nm PTM HP", Feature: 22, Model: "PTM HP",
+		VddNominal: 0.8, VddMin: 0.5,
+		Dev: device.Params{Vth0: 0.269342, N: 1.000000, Kd: 2.633849e-09, DIBL: 0.15, IleakK: 25},
+		Var: device.Variation{SigmaVthWID: 0.022978, SigmaVthD2D: 0.008613, SigmaMulWID: 0.028505, SigmaMulD2D: 0.010689},
+	}
+)
+
+// ChainLength is the paper's canonical critical-path emulation: a chain
+// of 50 FO4 inverters (§3.2).
+const ChainLength = 50

@@ -1,0 +1,140 @@
+// Package timingerr models variation-induced timing errors in a wide
+// SIMD pipeline and the recovery policies the paper discusses (§1, §4):
+//
+//   - Stall: on any lane error the whole datapath waits one extra cycle
+//     and re-evaluates with relaxed timing;
+//   - FlushReplay: on any lane error the SIMD pipeline flushes and
+//     re-executes, costing a full pipeline depth — every lane pays for
+//     one lane's error, which is why error tolerance is so expensive in
+//     wide SIMD machines;
+//   - Decoupled: Synctium-style per-lane decoupling queues let an
+//     erring lane slip by one cycle; the datapath only stalls (a
+//     micro-barrier) when some lane's backlog exceeds the queue depth.
+//
+// All three implement soda.ErrorModel, so any kernel can run under any
+// policy; the "synctium" experiment sweeps the per-lane error
+// probability and compares throughput.
+package timingerr
+
+import (
+	"fmt"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+// LaneErrors draws the number of erring lanes for one SIMD operation:
+// each of lanes lanes errs independently with probability p.
+func LaneErrors(r *rng.Stream, lanes int, p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	errs := 0
+	for i := 0; i < lanes; i++ {
+		if r.Float64() < p {
+			errs++
+		}
+	}
+	return errs
+}
+
+// Stall is the wait-one-cycle recovery policy.
+type Stall struct {
+	Lanes int
+	P     float64 // per-lane, per-operation timing-error probability
+}
+
+// Penalty implements soda.ErrorModel.
+func (s Stall) Penalty(r *rng.Stream) (int, int) {
+	errs := LaneErrors(r, s.Lanes, s.P)
+	if errs == 0 {
+		return 0, 0
+	}
+	return 1, errs
+}
+
+// String describes the policy.
+func (s Stall) String() string { return fmt.Sprintf("stall(p=%g)", s.P) }
+
+// FlushReplay is the flush-and-re-execute recovery policy: an error in
+// any lane costs a full pipeline refill.
+type FlushReplay struct {
+	Lanes int
+	P     float64
+	Depth int // SIMD pipeline depth (refill cost in cycles)
+}
+
+// Penalty implements soda.ErrorModel.
+func (f FlushReplay) Penalty(r *rng.Stream) (int, int) {
+	errs := LaneErrors(r, f.Lanes, f.P)
+	if errs == 0 {
+		return 0, 0
+	}
+	depth := f.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	return depth, errs
+}
+
+// String describes the policy.
+func (f FlushReplay) String() string { return fmt.Sprintf("flush(p=%g,depth=%d)", f.P, f.Depth) }
+
+// Decoupled is the Synctium-style policy: each lane owns a decoupling
+// queue of QueueDepth entries. A lane error adds one cycle of backlog to
+// that lane only; the whole datapath stalls one cycle (micro-barrier)
+// whenever some lane's backlog would overflow its queue, draining every
+// lane's backlog by one. The zero backlog state is restored by Reset.
+type Decoupled struct {
+	Lanes      int
+	P          float64
+	QueueDepth int
+
+	backlog []int
+}
+
+// NewDecoupled returns a decoupled-pipeline policy with its queue state.
+func NewDecoupled(lanes int, p float64, queueDepth int) *Decoupled {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	return &Decoupled{Lanes: lanes, P: p, QueueDepth: queueDepth, backlog: make([]int, lanes)}
+}
+
+// Reset clears all lane backlogs.
+func (d *Decoupled) Reset() {
+	for i := range d.backlog {
+		d.backlog[i] = 0
+	}
+}
+
+// Penalty implements soda.ErrorModel.
+func (d *Decoupled) Penalty(r *rng.Stream) (int, int) {
+	errs := 0
+	stall := 0
+	overflow := false
+	for i := 0; i < d.Lanes; i++ {
+		if d.P > 0 && r.Float64() < d.P {
+			errs++
+			d.backlog[i]++
+			if d.backlog[i] > d.QueueDepth {
+				overflow = true
+			}
+		}
+	}
+	if overflow {
+		// Micro-barrier: one stall cycle drains one backlog slot in
+		// every lane.
+		stall = 1
+		for i := range d.backlog {
+			if d.backlog[i] > 0 {
+				d.backlog[i]--
+			}
+		}
+	}
+	return stall, errs
+}
+
+// String describes the policy.
+func (d *Decoupled) String() string {
+	return fmt.Sprintf("decoupled(p=%g,q=%d)", d.P, d.QueueDepth)
+}

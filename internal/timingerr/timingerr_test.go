@@ -1,0 +1,142 @@
+package timingerr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func TestLaneErrorsRate(t *testing.T) {
+	r := rng.New(1)
+	const lanes = 128
+	const p = 0.01
+	const trials = 20000
+	total := 0
+	for i := 0; i < trials; i++ {
+		total += LaneErrors(r, lanes, p)
+	}
+	got := float64(total) / float64(trials)
+	want := lanes * p
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mean lane errors %v, want %v", got, want)
+	}
+	if LaneErrors(r, lanes, 0) != 0 {
+		t.Error("p=0 must give zero errors")
+	}
+}
+
+func TestStallPenalty(t *testing.T) {
+	r := rng.New(2)
+	s := Stall{Lanes: 128, P: 1} // every lane errs
+	c, e := s.Penalty(r)
+	if c != 1 || e != 128 {
+		t.Errorf("full-error stall = %d cycles, %d errors", c, e)
+	}
+	s0 := Stall{Lanes: 128, P: 0}
+	if c, e := s0.Penalty(r); c != 0 || e != 0 {
+		t.Error("error-free stall should cost nothing")
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFlushPenaltyDepth(t *testing.T) {
+	r := rng.New(3)
+	f := FlushReplay{Lanes: 4, P: 1, Depth: 8}
+	c, _ := f.Penalty(r)
+	if c != 8 {
+		t.Errorf("flush cost %d, want depth 8", c)
+	}
+	fd := FlushReplay{Lanes: 4, P: 1} // zero depth defaults to 1
+	if c, _ := fd.Penalty(r); c != 1 {
+		t.Errorf("default depth cost %d", c)
+	}
+	if f.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestDecoupledAbsorbsIsolatedErrors(t *testing.T) {
+	// With a deep queue and rare errors, stalls must be far rarer than
+	// errors themselves.
+	r := rng.New(4)
+	d := NewDecoupled(128, 0.001, 4)
+	stalls, errs := 0, 0
+	for i := 0; i < 50000; i++ {
+		c, e := d.Penalty(r)
+		stalls += c
+		errs += e
+	}
+	if errs == 0 {
+		t.Fatal("no errors generated")
+	}
+	if stalls*20 > errs {
+		t.Errorf("decoupling absorbed too little: %d stalls for %d errors", stalls, errs)
+	}
+}
+
+func TestDecoupledQueueOverflow(t *testing.T) {
+	// With p=1 every lane errs each op; a queue of depth q overflows on
+	// the (q+1)-th op and then stalls every op.
+	r := rng.New(5)
+	d := NewDecoupled(8, 1, 2)
+	var costs []int
+	for i := 0; i < 5; i++ {
+		c, _ := d.Penalty(r)
+		costs = append(costs, c)
+	}
+	want := []int{0, 0, 1, 1, 1}
+	for i := range want {
+		if costs[i] != want[i] {
+			t.Errorf("op %d cost %d, want %d (%v)", i, costs[i], want[i], costs)
+			break
+		}
+	}
+}
+
+func TestDecoupledReset(t *testing.T) {
+	r := rng.New(6)
+	d := NewDecoupled(8, 1, 1)
+	d.Penalty(r)
+	d.Penalty(r) // backlog at queue depth
+	d.Reset()
+	if c, _ := d.Penalty(r); c != 0 {
+		t.Error("Reset did not clear backlog")
+	}
+	if d.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestPolicyOrdering(t *testing.T) {
+	// At equal error probability: flush ≥ stall ≥ decoupled in total
+	// recovery cost over many operations.
+	const p = 0.02
+	const ops = 20000
+	run := func(m interface {
+		Penalty(*rng.Stream) (int, int)
+	}) int {
+		r := rng.New(7)
+		total := 0
+		for i := 0; i < ops; i++ {
+			c, _ := m.Penalty(r)
+			total += c
+		}
+		return total
+	}
+	stall := run(Stall{Lanes: 128, P: p})
+	flush := run(FlushReplay{Lanes: 128, P: p, Depth: 8})
+	dec := run(NewDecoupled(128, p, 2))
+	if !(flush > stall && stall > dec) {
+		t.Errorf("cost ordering violated: flush=%d stall=%d decoupled=%d", flush, stall, dec)
+	}
+}
+
+func TestDecoupledMinQueueDepth(t *testing.T) {
+	d := NewDecoupled(4, 0.5, 0)
+	if d.QueueDepth != 1 {
+		t.Errorf("queue depth %d, want clamped to 1", d.QueueDepth)
+	}
+}

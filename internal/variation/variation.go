@@ -1,0 +1,85 @@
+// Package variation samples process variation for the die → lane → gate
+// hierarchy of the Monte-Carlo study.
+//
+// The model (see internal/device.Variation) has four components:
+//
+//   - within-die (WID) threshold-voltage variation: an independent
+//     Gaussian V_th shift per gate, caused by random dopant fluctuation
+//     and — at 32/22 nm — line-edge roughness;
+//   - die-to-die (D2D) threshold-voltage variation: one Gaussian shift
+//     shared by every gate on the die;
+//   - WID and D2D multiplicative delay factors (log-normal), capturing
+//     geometry/mobility variation whose delay impact does not scale with
+//     the V_th sensitivity.
+//
+// A Sampler binds a device model to a variation model and draws delays.
+package variation
+
+import (
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+// Sampler draws variation-afflicted gate delays for one technology.
+type Sampler struct {
+	Dev device.Params
+	Var device.Variation
+}
+
+// Die holds the correlated draws shared by all gates on one die.
+type Die struct {
+	DVth float64 // die-to-die threshold shift, volts
+	Mul  float64 // die-to-die multiplicative delay factor (≈ 1)
+}
+
+// NewSampler returns a sampler for the given device and variation model.
+func NewSampler(dev device.Params, v device.Variation) *Sampler {
+	return &Sampler{Dev: dev, Var: v}
+}
+
+// Die draws the correlated die-level variation.
+func (s *Sampler) Die(r *rng.Stream) Die {
+	return Die{
+		DVth: r.Gauss(0, s.Var.SigmaVthD2D),
+		Mul:  math.Exp(r.Gauss(0, s.Var.SigmaMulD2D)),
+	}
+}
+
+// GateVth draws one gate's full threshold voltage on the given die.
+func (s *Sampler) GateVth(r *rng.Stream, die Die) float64 {
+	return s.Dev.Vth0 + die.DVth + r.Gauss(0, s.Var.SigmaVthWID)
+}
+
+// GateDelay draws one gate's delay at supply vdd on the given die,
+// including both threshold and multiplicative variation.
+func (s *Sampler) GateDelay(r *rng.Stream, vdd float64, die Die) float64 {
+	vth := s.GateVth(r, die)
+	mul := math.Exp(r.Gauss(0, s.Var.SigmaMulWID))
+	return s.Dev.Delay(vdd, vth) * die.Mul * mul
+}
+
+// ChainDelay draws the delay of an n-gate chain at supply vdd on the
+// given die by summing n independent gate draws. This is the exact
+// (gate-level) path model; internal/simd also provides a moment-matched
+// fast path validated against this one.
+func (s *Sampler) ChainDelay(r *rng.Stream, vdd float64, n int, die Die) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.GateDelay(r, vdd, die)
+	}
+	return sum
+}
+
+// FreshChainDelay draws a chain delay on a freshly drawn die, matching
+// the paper's circuit-level experiments where every Monte-Carlo sample
+// is an independent chip.
+func (s *Sampler) FreshChainDelay(r *rng.Stream, vdd float64, n int) float64 {
+	return s.ChainDelay(r, vdd, n, s.Die(r))
+}
+
+// FreshGateDelay draws a single-gate delay on a freshly drawn die.
+func (s *Sampler) FreshGateDelay(r *rng.Stream, vdd float64) float64 {
+	return s.GateDelay(r, vdd, s.Die(r))
+}

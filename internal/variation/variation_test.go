@@ -1,0 +1,124 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+)
+
+func testSampler() *Sampler {
+	return NewSampler(
+		device.Params{Vth0: 0.35, N: 1.3, Kd: 1e-11},
+		device.Variation{
+			SigmaVthWID: 0.012, SigmaVthD2D: 0.004,
+			SigmaMulWID: 0.03, SigmaMulD2D: 0.012,
+		},
+	)
+}
+
+func TestGateDelayMatchesQuadratureMoments(t *testing.T) {
+	s := testSampler()
+	r := rng.New(100)
+	const vdd = 0.6
+	var st stats.Stream
+	for i := 0; i < 200000; i++ {
+		st.Add(s.FreshGateDelay(r, vdd))
+	}
+	qm, qv := device.GateMoments(s.Dev, s.Var, vdd)
+	if math.Abs(st.Mean()-qm)/qm > 0.01 {
+		t.Errorf("MC mean %v vs quadrature %v", st.Mean(), qm)
+	}
+	if math.Abs(st.StdDev()-math.Sqrt(qv))/math.Sqrt(qv) > 0.03 {
+		t.Errorf("MC sd %v vs quadrature %v", st.StdDev(), math.Sqrt(qv))
+	}
+}
+
+func TestChainDelayMatchesQuadratureMoments(t *testing.T) {
+	s := testSampler()
+	r := rng.New(200)
+	const vdd = 0.5
+	const n = 30
+	var st stats.Stream
+	for i := 0; i < 40000; i++ {
+		st.Add(s.FreshChainDelay(r, vdd, n))
+	}
+	qm, qv := device.ChainMoments(s.Dev, s.Var, vdd, n)
+	if math.Abs(st.Mean()-qm)/qm > 0.01 {
+		t.Errorf("MC mean %v vs quadrature %v", st.Mean(), qm)
+	}
+	if math.Abs(st.StdDev()-math.Sqrt(qv))/math.Sqrt(qv) > 0.05 {
+		t.Errorf("MC sd %v vs quadrature %v", st.StdDev(), math.Sqrt(qv))
+	}
+}
+
+func TestDieCorrelationWithinDie(t *testing.T) {
+	s := testSampler()
+	r := rng.New(300)
+	// Two gates on the same die must be positively correlated; on
+	// different dies, uncorrelated.
+	const n = 50000
+	var sameCov, crossCov stats.Stream
+	for i := 0; i < n; i++ {
+		die := s.Die(r)
+		g1 := s.GateDelay(r, 0.5, die)
+		g2 := s.GateDelay(r, 0.5, die)
+		die3 := s.Die(r)
+		g3 := s.GateDelay(r, 0.5, die3)
+		sameCov.Add(g1 * g2)
+		crossCov.Add(g1 * g3)
+	}
+	qm, _ := device.GateMoments(s.Dev, s.Var, 0.5)
+	same := sameCov.Mean() - qm*qm
+	cross := crossCov.Mean() - qm*qm
+	if same <= 0 {
+		t.Errorf("same-die covariance %v should be positive", same)
+	}
+	if math.Abs(cross) > same/3 {
+		t.Errorf("cross-die covariance %v should be near zero (same-die %v)", cross, same)
+	}
+}
+
+func TestChainIsSumOfGates(t *testing.T) {
+	s := testSampler()
+	// With zero variation, chain delay must equal n × nominal delay.
+	s.Var = device.Variation{}
+	r := rng.New(400)
+	got := s.FreshChainDelay(r, 0.7, 25)
+	want := 25 * s.Dev.NominalDelay(0.7)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("chain = %v, want %v", got, want)
+	}
+}
+
+func TestDelaysArePositive(t *testing.T) {
+	s := testSampler()
+	r := rng.New(500)
+	for i := 0; i < 10000; i++ {
+		if d := s.FreshGateDelay(r, 0.45); d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+	}
+}
+
+func TestDieFieldsDistribution(t *testing.T) {
+	s := testSampler()
+	r := rng.New(600)
+	var dvth, mul stats.Stream
+	for i := 0; i < 100000; i++ {
+		d := s.Die(r)
+		dvth.Add(d.DVth)
+		mul.Add(math.Log(d.Mul))
+	}
+	if math.Abs(dvth.Mean()) > 1e-4 {
+		t.Errorf("D2D Vth mean %v, want 0", dvth.Mean())
+	}
+	if math.Abs(dvth.StdDev()-s.Var.SigmaVthD2D)/s.Var.SigmaVthD2D > 0.02 {
+		t.Errorf("D2D Vth sd %v, want %v", dvth.StdDev(), s.Var.SigmaVthD2D)
+	}
+	if math.Abs(mul.StdDev()-s.Var.SigmaMulD2D)/s.Var.SigmaMulD2D > 0.02 {
+		t.Errorf("D2D mul log-sd %v, want %v", mul.StdDev(), s.Var.SigmaMulD2D)
+	}
+}

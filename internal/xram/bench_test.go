@@ -1,0 +1,40 @@
+package xram
+
+import "testing"
+
+func BenchmarkRoute128(b *testing.B) {
+	x, err := New(128, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := x.Store(0, Rotate(128, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := x.Select(0); err != nil {
+		b.Fatal(err)
+	}
+	in := make([]uint16, 128)
+	out := make([]uint16, 128)
+	for i := range in {
+		in[i] = uint16(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Route(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBypassConfigs(b *testing.B) {
+	mapping, err := SpareMap(132, []int{3, 77, 90}, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BypassConfigs(132, mapping); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

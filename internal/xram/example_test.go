@@ -1,0 +1,55 @@
+package xram_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ntvsim/ntvsim/internal/xram"
+)
+
+// Example routes a vector through a stored rotation shuffle.
+func Example() {
+	x, err := xram.New(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := x.Store(0, xram.Rotate(8, 1)); err != nil {
+		log.Fatal(err)
+	}
+	if err := x.Select(0); err != nil {
+		log.Fatal(err)
+	}
+	in := []uint16{10, 11, 12, 13, 14, 15, 16, 17}
+	out := make([]uint16, 8)
+	if err := x.Route(in, out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: [11 12 13 14 15 16 17 10]
+}
+
+// ExampleBypassConfigs demonstrates global sparing: eight logical lanes
+// routed around two faulty physical FUs.
+func ExampleBypassConfigs() {
+	const physical = 10
+	mapping, err := xram.SpareMap(physical, []int{2, 3}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scatter, gather, err := xram.BypassConfigs(physical, mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := xram.New(physical, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := x.Store(0, scatter); err != nil {
+		log.Fatal(err)
+	}
+	if err := x.Store(1, gather); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("logical→physical:", mapping)
+	// Output: logical→physical: [0 1 4 5 6 7 8 9]
+}

@@ -1,0 +1,302 @@
+package xram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+func mustNew(t *testing.T, n, slots int) *Crossbar {
+	t.Helper()
+	x, err := New(n, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("size 0 accepted")
+	}
+	x := mustNew(t, 8, 0)
+	if x.NumSlots() != DefaultSlots {
+		t.Errorf("default slots = %d", x.NumSlots())
+	}
+	if x.Size() != 8 {
+		t.Errorf("size = %d", x.Size())
+	}
+}
+
+func TestIdentityDefault(t *testing.T) {
+	x := mustNew(t, 4, 2)
+	in := []uint16{10, 20, 30, 40}
+	out := make([]uint16, 4)
+	if err := x.Route(in, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("identity route lane %d: %d", i, out[i])
+		}
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	x := mustNew(t, 4, 2)
+	if err := x.Store(5, Identity(4)); err == nil {
+		t.Error("bad slot accepted")
+	}
+	if err := x.Store(0, []int{0, 1}); err == nil {
+		t.Error("short config accepted")
+	}
+	if err := x.Store(0, []int{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if err := x.Store(0, []int{0, 1, 2, Disabled}); err != nil {
+		t.Errorf("disabled output rejected: %v", err)
+	}
+}
+
+func TestStoreCopiesConfig(t *testing.T) {
+	x := mustNew(t, 3, 1)
+	cfg := []int{2, 1, 0}
+	if err := x.Store(0, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg[0] = 1 // mutate caller's slice
+	if got := x.Config(); got[0] != 2 {
+		t.Error("Store did not copy the configuration")
+	}
+}
+
+func TestSelectAndRoute(t *testing.T) {
+	x := mustNew(t, 5, 3)
+	if err := x.Store(1, Reverse(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Select(1); err != nil {
+		t.Fatal(err)
+	}
+	if x.Active() != 1 {
+		t.Error("active slot wrong")
+	}
+	in := []uint16{1, 2, 3, 4, 5}
+	out := make([]uint16, 5)
+	if err := x.Route(in, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[4-i] {
+			t.Errorf("reverse lane %d = %d", i, out[i])
+		}
+	}
+	if err := x.Select(7); err == nil {
+		t.Error("bad slot select accepted")
+	}
+	routed, selects := x.Stats()
+	if routed != 5 || selects != 1 {
+		t.Errorf("stats = %d, %d", routed, selects)
+	}
+}
+
+func TestRouteLengthValidation(t *testing.T) {
+	x := mustNew(t, 4, 1)
+	if err := x.Route(make([]uint16, 3), make([]uint16, 4)); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestDisabledOutputsZero(t *testing.T) {
+	x := mustNew(t, 3, 1)
+	if err := x.Store(0, []int{Disabled, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint16, 3)
+	if err := x.Route([]uint16{7, 8, 9}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 7 || out[2] != 8 {
+		t.Errorf("disabled routing wrong: %v", out)
+	}
+}
+
+func TestPatternConstructors(t *testing.T) {
+	if !IsPermutation(Identity(8)) || !IsPermutation(Reverse(8)) ||
+		!IsPermutation(Rotate(8, 3)) || !IsPermutation(EvenOdd(8)) {
+		t.Error("standard patterns must be permutations")
+	}
+	if IsPermutation(Broadcast(8, 2)) {
+		t.Error("broadcast is not a permutation")
+	}
+	// Rotate semantics: out[j] = in[(j+k) mod n].
+	rot := Rotate(4, 1)
+	if rot[0] != 1 || rot[3] != 0 {
+		t.Errorf("Rotate = %v", rot)
+	}
+	// Negative rotation.
+	rot = Rotate(4, -1)
+	if rot[0] != 3 {
+		t.Errorf("Rotate(-1) = %v", rot)
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	cfg, err := Transpose2D(6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPermutation(cfg) {
+		t.Error("transpose must be a permutation")
+	}
+	// Row-major 2×3 [[0,1,2],[3,4,5]] transposed column-major reads
+	// 0,3,1,4,2,5.
+	in := []uint16{0, 1, 2, 3, 4, 5}
+	x := mustNew(t, 6, 1)
+	if err := x.Store(0, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint16, 6)
+	if err := x.Route(in, out); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{0, 3, 1, 4, 2, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("transpose out = %v, want %v", out, want)
+			break
+		}
+	}
+	if _, err := Transpose2D(6, 2, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSpareMap(t *testing.T) {
+	m, err := SpareMap(10, []int{2, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 4, 5, 6, 7, 8, 9}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("map = %v, want %v", m, want)
+			break
+		}
+	}
+	if _, err := SpareMap(10, []int{0, 1, 2}, 8); err == nil {
+		t.Error("insufficient healthy lanes accepted")
+	}
+	if _, err := SpareMap(10, []int{11}, 8); err == nil {
+		t.Error("out-of-range faulty lane accepted")
+	}
+}
+
+func TestBypassConfigsRoundTrip(t *testing.T) {
+	const physical = 12
+	const logical = 8
+	mapping, err := SpareMap(physical, []int{1, 6, 7}, logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scatter, gather, err := BypassConfigs(physical, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mustNew(t, physical, 2)
+	if err := x.Store(0, scatter); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Store(1, gather); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint16, physical)
+	for i := 0; i < logical; i++ {
+		in[i] = uint16(i + 1)
+	}
+	mid := make([]uint16, physical)
+	out := make([]uint16, physical)
+	if err := x.Select(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Route(in, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Select(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Route(mid, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < logical; i++ {
+		if out[i] != in[i] {
+			t.Errorf("round trip lane %d = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBypassConfigsValidation(t *testing.T) {
+	if _, _, err := BypassConfigs(4, []int{0, 0}); err == nil {
+		t.Error("duplicate physical assignment accepted")
+	}
+	if _, _, err := BypassConfigs(4, []int{0, 9}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+	if _, _, err := BypassConfigs(2, []int{0, 1, 0}); err == nil {
+		t.Error("oversized mapping accepted")
+	}
+}
+
+// TestBypassAnyFaultPattern property: for any fault set leaving ≥ L
+// healthy lanes, scatter+gather round-trips all L logical values.
+func TestBypassAnyFaultPattern(t *testing.T) {
+	r := rng.New(99)
+	f := func(seed uint64) bool {
+		const physical = 16
+		const logical = 10
+		// Up to 6 random faults.
+		nf := int(seed % 7)
+		faulty := r.Perm(physical)[:nf]
+		mapping, err := SpareMap(physical, faulty, logical)
+		if err != nil {
+			return nf > physical-logical // only acceptable failure
+		}
+		scatter, gather, err := BypassConfigs(physical, mapping)
+		if err != nil {
+			return false
+		}
+		x, err := New(physical, 2)
+		if err != nil {
+			return false
+		}
+		if x.Store(0, scatter) != nil || x.Store(1, gather) != nil {
+			return false
+		}
+		in := make([]uint16, physical)
+		for i := 0; i < logical; i++ {
+			in[i] = uint16(1000 + i)
+		}
+		mid := make([]uint16, physical)
+		out := make([]uint16, physical)
+		if x.Select(0) != nil || x.Route(in, mid) != nil {
+			return false
+		}
+		// Corrupt every faulty lane to prove no data flows through it.
+		for _, fl := range faulty {
+			mid[fl] = 0xFFFF
+		}
+		if x.Select(1) != nil || x.Route(mid, out) != nil {
+			return false
+		}
+		for i := 0; i < logical; i++ {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
