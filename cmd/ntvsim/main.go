@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -49,10 +51,15 @@ func main() {
 		ids = experiments.IDs()
 	}
 
+	// Interrupt (Ctrl-C) cancels the in-flight experiment's Monte-Carlo
+	// sampling instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	exitCode := 0
 	for _, id := range ids {
 		start := time.Now()
-		res, err := experiments.Run(id, cfg)
+		res, err := experiments.RunCtx(ctx, id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ntvsim: %s: %v\n", id, err)
 			exitCode = 1

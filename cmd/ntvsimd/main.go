@@ -1,0 +1,80 @@
+// Command ntvsimd serves the experiment registry of the DAC 2012
+// reproduction over HTTP as an asynchronous job API with result caching
+// and cancellation.
+//
+// Usage:
+//
+//	ntvsimd [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
+//
+// Endpoints (see docs/API.md for request/response examples):
+//
+//	GET  /v1/experiments        list runnable experiment ids
+//	POST /v1/jobs               enqueue an experiment run
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          job status and result
+//	POST /v1/jobs/{id}/cancel   cancel a queued or running job
+//	GET  /metrics               expvar metrics (jobs, cache, MC samples)
+//	GET  /healthz               liveness probe
+//
+// With -debug-addr set, net/http/pprof and /debug/vars are served on a
+// separate listener so profiling never shares the public port.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address of the public API")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for pprof and /debug/vars (empty: disabled)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment jobs")
+	queue := flag.Int("queue", 64, "pending-job queue depth")
+	cacheSize := flag.Int("cache", 256, "max cached experiment results (0: unbounded)")
+	flag.Parse()
+
+	s := newServer(*workers, *queue, *cacheSize)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("ntvsimd: debug (pprof) on %s", *debugAddr)
+			debugSrv := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           debugMux(),
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ntvsimd: debug listener: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("ntvsimd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("ntvsimd: serving on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queue, *cacheSize)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ntvsimd: %v", err)
+	}
+	s.close() // drain queued and running jobs before exiting
+}

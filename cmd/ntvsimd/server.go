@@ -1,0 +1,318 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/resultcache"
+)
+
+// Service-wide expvar metrics, exposed verbatim at GET /metrics. They
+// are process-global (expvar names are a single namespace), so multiple
+// server instances — e.g. in tests — share and accumulate into them.
+var (
+	evJobsStarted   = expvar.NewInt("ntvsimd_jobs_started")
+	evJobsCompleted = expvar.NewInt("ntvsimd_jobs_completed")
+	evJobsFailed    = expvar.NewInt("ntvsimd_jobs_failed")
+	evJobsCancelled = expvar.NewInt("ntvsimd_jobs_cancelled")
+	evCacheHits     = expvar.NewInt("ntvsimd_cache_hits")
+	evCacheMisses   = expvar.NewInt("ntvsimd_cache_misses")
+	evExpRuns       = expvar.NewMap("ntvsimd_experiment_runs")
+	evExpSeconds    = expvar.NewMap("ntvsimd_experiment_seconds")
+)
+
+func init() {
+	// Gauge for the shared Monte-Carlo engine: total sample evaluations
+	// across every experiment run in this process.
+	expvar.Publish("ntvsimd_mc_samples_evaluated", expvar.Func(func() any {
+		return montecarlo.SamplesEvaluated()
+	}))
+}
+
+// server wires the experiments registry, the job manager and the result
+// cache behind an HTTP mux.
+type server struct {
+	jobs  *jobs.Manager
+	cache *resultcache.Cache[experiments.Result]
+	mux   *http.ServeMux
+}
+
+func newServer(workers, queueDepth, cacheSize int) *server {
+	s := &server{
+		jobs:  jobs.NewManager(workers, queueDepth),
+		cache: resultcache.New[experiments.Result](cacheSize),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.Handle("GET /metrics", expvar.Handler())
+	return s
+}
+
+// close drains the worker pool; used by main on shutdown and by tests.
+func (s *server) close() { s.jobs.Close() }
+
+// debugMux serves net/http/pprof and the raw expvar dump on a separate
+// listener so profiling endpoints never share a port with the public
+// API.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body. Config follows the
+// zero-means-default contract of experiments.Config; Quick fills zero
+// fields from the reduced regression configuration instead.
+type submitRequest struct {
+	Experiment string             `json:"experiment"`
+	Config     experiments.Config `json:"config"`
+	Quick      bool               `json:"quick"`
+}
+
+// jobKey is the content-addressed cache identity of a run: experiment id
+// plus fully normalized configuration.
+type jobKey struct {
+	ID     string             `json:"id"`
+	Config experiments.Config `json:"config"`
+}
+
+// resultPayload is the wire form of a finished experiment.
+type resultPayload struct {
+	ID     string `json:"id"`
+	Render string `json:"render"`
+	Data   any    `json:"data,omitempty"` // structured payload when the result implements JSONer
+}
+
+// jobPayload is the wire form of a job (POST and GET responses).
+type jobPayload struct {
+	ID         string         `json:"id,omitempty"`
+	Experiment string         `json:"experiment"`
+	State      jobs.State     `json:"state"`
+	Cached     bool           `json:"cached"`
+	Error      string         `json:"error,omitempty"`
+	CreatedAt  *time.Time     `json:"created_at,omitempty"`
+	StartedAt  *time.Time     `json:"started_at,omitempty"`
+	FinishedAt *time.Time     `json:"finished_at,omitempty"`
+	Result     *resultPayload `json:"result,omitempty"`
+}
+
+func renderResult(res experiments.Result) *resultPayload {
+	p := &resultPayload{ID: res.ID(), Render: res.Render()}
+	if j, ok := res.(experiments.JSONer); ok {
+		p.Data = j.JSON()
+	}
+	return p
+}
+
+func snapshotPayload(s jobs.Snapshot) jobPayload {
+	p := jobPayload{
+		ID:         s.ID,
+		Experiment: s.Name,
+		State:      s.State,
+		Error:      s.Error,
+	}
+	for _, ts := range []struct {
+		t   time.Time
+		dst **time.Time
+	}{{s.Created, &p.CreatedAt}, {s.Started, &p.StartedAt}, {s.Finished, &p.FinishedAt}} {
+		if !ts.t.IsZero() {
+			t := ts.t
+			*ts.dst = &t
+		}
+	}
+	if res, ok := s.Value.(experiments.Result); ok && s.State == jobs.Done {
+		p.Result = renderResult(res)
+	}
+	return p
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.IDs()})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"experiment\" field"))
+		return
+	}
+	if !knownExperiment(req.Experiment) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment))
+		return
+	}
+	cfg := req.Config
+	if req.Quick {
+		cfg = fillQuick(cfg)
+	}
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	key := resultcache.Key(jobKey{ID: req.Experiment, Config: cfg})
+	if res, ok := s.cache.Get(key); ok {
+		evCacheHits.Add(1)
+		writeJSON(w, http.StatusOK, jobPayload{
+			Experiment: req.Experiment,
+			State:      jobs.Done,
+			Cached:     true,
+			Result:     renderResult(res),
+		})
+		return
+	}
+	evCacheMisses.Add(1)
+
+	id, err := s.jobs.Submit(req.Experiment, s.runJob(req.Experiment, cfg, key))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	evJobsStarted.Add(1)
+	writeJSON(w, http.StatusAccepted, jobPayload{
+		ID:         id,
+		Experiment: req.Experiment,
+		State:      jobs.Queued,
+	})
+}
+
+// runJob builds the worker-pool closure for one experiment run: execute
+// under the job's context, record per-experiment latency, and populate
+// the result cache on success.
+func (s *server) runJob(expID string, cfg experiments.Config, key string) jobs.Func {
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := experiments.RunCtx(ctx, expID, cfg)
+		elapsed := time.Since(start).Seconds()
+		switch {
+		case ctx.Err() != nil:
+			evJobsCancelled.Add(1)
+		case err != nil:
+			evJobsFailed.Add(1)
+		default:
+			evJobsCompleted.Add(1)
+			evExpRuns.Add(expID, 1)
+			evExpSeconds.AddFloat(expID, elapsed)
+			s.cache.Put(key, res)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	out := make([]jobPayload, 0, len(snaps))
+	for _, snap := range snaps {
+		p := snapshotPayload(snap)
+		p.Result = nil // keep the listing light; fetch one job for its result
+		out = append(out, p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotPayload(snap))
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Get(id); !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	was, ok := s.jobs.Cancel(id)
+	if !ok {
+		snap, _ := s.jobs.Get(id)
+		writeError(w, http.StatusConflict, fmt.Errorf("job already %s", snap.State))
+		return
+	}
+	if was == jobs.Queued {
+		// A running job's cancellation is counted when its runJob closure
+		// observes ctx and finalizes; a queued job never runs, so count it
+		// here — the Cancel call is authoritative about which case this is.
+		evJobsCancelled.Add(1)
+	}
+	snap, _ := s.jobs.Get(id)
+	writeJSON(w, http.StatusOK, snapshotPayload(snap))
+}
+
+// fillQuick fills zero Config fields from the reduced regression
+// configuration (experiments.Quick) instead of the paper defaults.
+func fillQuick(c experiments.Config) experiments.Config {
+	q := experiments.Quick()
+	if c.Seed == 0 {
+		c.Seed = q.Seed
+	}
+	if c.CircuitSamples == 0 {
+		c.CircuitSamples = q.CircuitSamples
+	}
+	if c.ChipSamples == 0 {
+		c.ChipSamples = q.ChipSamples
+	}
+	if c.SearchSamples == 0 {
+		c.SearchSamples = q.SearchSamples
+	}
+	return c
+}
+
+func knownExperiment(id string) bool {
+	for _, known := range experiments.IDs() {
+		if id == known {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,7 +69,7 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-func runAblation(cfg Config) (Result, error) {
+func runAblation(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	res := &AblationResult{Node: node, Samples: cfg.SearchSamples}
 	iid := simd.New(node)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -70,16 +71,22 @@ func (r *AppResult) Render() string {
 	return b.String()
 }
 
-func runApp(cfg Config) (Result, error) {
+func runApp(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	const vddNTV = 0.55
 	dp := simd.New(node)
 
 	// Variation-aware clocks: the FV baseline 99 % chip delay, and the
 	// NTV clock after the Table 2 margin restores the same FO4 target.
-	base := dp.P99ChipDelayFO4(cfg.Seed+41, cfg.SearchSamples, node.VddNominal, 0)
+	base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed+41, cfg.SearchSamples, node.VddNominal, 0)
+	if err != nil {
+		return nil, err
+	}
 	target := margin.TargetDelay(dp, vddNTV, base)
-	vr := margin.VoltageMargin(dp, cfg.Seed+41, cfg.SearchSamples, vddNTV, target, 0.1e-3, 0)
+	vr, err := margin.VoltageMarginCtx(ctx, dp, cfg.Seed+41, cfg.SearchSamples, vddNTV, target, 0.1e-3, 0)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &AppResult{
 		Node: node, VddNTV: vddNTV, MarginMV: vr.Margin * 1e3,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -69,14 +70,17 @@ func (r *CornersResult) CSV() [][]string {
 	return rows
 }
 
-func runCorners(cfg Config) (Result, error) {
+func runCorners(ctx context.Context, cfg Config) (Result, error) {
 	res := &CornersResult{Samples: cfg.ChipSamples}
 	for ni, node := range tech.Nodes() {
 		dp := simd.New(node)
 		paths := dp.Lanes * dp.PathsPerLane
 		for _, vdd := range []float64{0.50, 0.60, 0.70, node.VddNominal} {
 			s := corners.ChipSignoff(node, vdd, paths)
-			ds := dp.ChipDelays(cfg.Seed+uint64(ni)*59, cfg.ChipSamples, vdd, 0)
+			ds, err := dp.ChipDelaysCtx(ctx, cfg.Seed+uint64(ni)*59, cfg.ChipSamples, vdd, 0)
+			if err != nil {
+				return nil, err
+			}
 			sort.Float64s(ds)
 			p99 := stats.QuantileSorted(ds, 0.99)
 			res.Cells = append(res.Cells, CornersCell{

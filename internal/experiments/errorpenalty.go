@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -73,7 +74,7 @@ func errorPenaltyKernel() soda.Kernel {
 	return soda.DotProductKernel(a, b)
 }
 
-func runErrorPenalty(cfg Config) (Result, error) {
+func runErrorPenalty(ctx context.Context, cfg Config) (Result, error) {
 	const pipeDepth = 8
 	const queueDepth = 2
 	kernel := errorPenaltyKernel()

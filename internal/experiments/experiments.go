@@ -9,16 +9,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
 
 // Config controls an experiment run.
+//
+// Zero means "use the paper default" for every field: a zero Seed or a
+// zero sample count is replaced by the corresponding Default value
+// during normalization. Negative sample counts are invalid and rejected
+// by Run/RunCtx with an error rather than silently replaced.
 type Config struct {
-	Seed           uint64
-	CircuitSamples int // circuit-level MC samples (paper: 1000)
-	ChipSamples    int // architecture-level MC samples (paper: 10 000)
-	SearchSamples  int // MC samples inside spare/margin searches
+	Seed           uint64 `json:"seed"`
+	CircuitSamples int    `json:"circuit_samples"` // circuit-level MC samples (paper: 1000)
+	ChipSamples    int    `json:"chip_samples"`    // architecture-level MC samples (paper: 10 000)
+	SearchSamples  int    `json:"search_samples"`  // MC samples inside spare/margin searches
 }
 
 // Default returns the paper's sample counts with a fixed seed.
@@ -32,8 +38,16 @@ func Quick() Config {
 	return Config{Seed: 20120603, CircuitSamples: 300, ChipSamples: 1200, SearchSamples: 1200}
 }
 
-// normalize fills zero fields from Default.
-func (c Config) normalize() Config {
+// Normalized fills zero fields from Default (the zero-means-default
+// contract documented on Config) and rejects negative sample counts,
+// which would otherwise drive the Monte-Carlo engines with nonsense
+// bounds.
+func (c Config) Normalized() (Config, error) {
+	if c.CircuitSamples < 0 || c.ChipSamples < 0 || c.SearchSamples < 0 {
+		return Config{}, fmt.Errorf(
+			"experiments: negative sample count (circuit %d, chip %d, search %d); use 0 for the paper default",
+			c.CircuitSamples, c.ChipSamples, c.SearchSamples)
+	}
 	d := Default()
 	if c.Seed == 0 {
 		c.Seed = d.Seed
@@ -47,7 +61,7 @@ func (c Config) normalize() Config {
 	if c.SearchSamples == 0 {
 		c.SearchSamples = d.SearchSamples
 	}
-	return c
+	return c, nil
 }
 
 // Result is a runnable experiment outcome.
@@ -58,8 +72,11 @@ type Result interface {
 	Render() string
 }
 
-// Runner builds one experiment.
-type Runner func(Config) (Result, error)
+// Runner builds one experiment. The context carries cancellation from
+// the caller (CLI signal handling, HTTP job cancellation) into the
+// Monte-Carlo loops; runners that sample heavily poll it via the
+// montecarlo/simd Ctx entry points and return its error when cancelled.
+type Runner func(ctx context.Context, cfg Config) (Result, error)
 
 // registry maps experiment IDs to runners, populated by the per-artifact
 // files' init functions.
@@ -84,9 +101,24 @@ func IDs() []string {
 
 // Run executes the experiment with the given id.
 func Run(id string, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), id, cfg)
+}
+
+// RunCtx executes the experiment with the given id under ctx. A context
+// cancelled before or during the run aborts the experiment's
+// Monte-Carlo sampling and returns the context's error; an uncancelled
+// ctx yields results bit-identical to Run.
+func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	return r(cfg.normalize())
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r(ctx, cfg)
 }

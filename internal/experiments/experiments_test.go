@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -45,14 +47,61 @@ func TestUnknownID(t *testing.T) {
 }
 
 func TestConfigNormalize(t *testing.T) {
-	c := Config{}.normalize()
+	c, err := Config{}.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
 	d := Default()
 	if c != d {
 		t.Errorf("normalize of zero config = %+v, want defaults", c)
 	}
-	c = Config{Seed: 5}.normalize()
+	c, err = Config{Seed: 5}.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
 	if c.Seed != 5 || c.ChipSamples != d.ChipSamples {
 		t.Error("partial config not filled")
+	}
+}
+
+func TestConfigRejectsNegativeSamples(t *testing.T) {
+	for _, cfg := range []Config{
+		{CircuitSamples: -1},
+		{ChipSamples: -100},
+		{SearchSamples: -7},
+	} {
+		if _, err := cfg.Normalized(); err == nil {
+			t.Errorf("Normalized accepted %+v", cfg)
+		}
+		if _, err := Run("fig4", cfg); err == nil {
+			t.Errorf("Run accepted %+v", cfg)
+		}
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, "fig4", Quick()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxBitIdentical asserts the context-threading refactor kept the
+// uncancelled path bit-identical: RunCtx(Background) must render exactly
+// what Run renders for a sampling-heavy artifact.
+func TestRunCtxBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 99, CircuitSamples: 100, ChipSamples: 200, SearchSamples: 100}
+	a, err := Run("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), "fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("RunCtx render differs from Run render for identical config")
 	}
 }
 

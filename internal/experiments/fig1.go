@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,18 +62,24 @@ func (r *Fig1Result) Render() string {
 	return b.String()
 }
 
-func runFig1(cfg Config) (Result, error) {
+func runFig1(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	res := &Fig1Result{Node: node, Samples: cfg.CircuitSamples}
 	sampler := variation.NewSampler(node.Dev, node.Var)
 	for _, a := range tech.Targets90().Anchors {
 		vdd := a.Vdd
-		gate := montecarlo.Sample(cfg.Seed+uint64(vdd*1000), cfg.CircuitSamples, func(r *rng.Stream) float64 {
+		gate, err := montecarlo.SampleCtx(ctx, cfg.Seed+uint64(vdd*1000), cfg.CircuitSamples, func(r *rng.Stream) float64 {
 			return sampler.FreshGateDelay(r, vdd)
 		})
-		chain := montecarlo.Sample(cfg.Seed+uint64(vdd*1000)+7, cfg.CircuitSamples, func(r *rng.Stream) float64 {
+		if err != nil {
+			return nil, err
+		}
+		chain, err := montecarlo.SampleCtx(ctx, cfg.Seed+uint64(vdd*1000)+7, cfg.CircuitSamples, func(r *rng.Stream) float64 {
 			return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
 		})
+		if err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, Fig1Row{
 			Vdd:        vdd,
 			Gate:       stats.Summarize(gate),

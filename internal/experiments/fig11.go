@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,17 +58,20 @@ func (r *Fig11Result) Render() string {
 	return b.String()
 }
 
-func runFig11(cfg Config) (Result, error) {
+func runFig11(ctx context.Context, cfg Config) (Result, error) {
 	const vdd = 0.55
 	res := &Fig11Result{Vdd: vdd, Samples: cfg.CircuitSamples}
 	for ni, node := range tech.Nodes() {
 		sampler := variation.NewSampler(node.Dev, node.Var)
 		s := Fig11Series{Node: node, Lengths: fig11Lengths}
 		for _, n := range fig11Lengths {
-			chain := montecarlo.Sample(cfg.Seed+uint64(ni*100+n), cfg.CircuitSamples,
+			chain, err := montecarlo.SampleCtx(ctx, cfg.Seed+uint64(ni*100+n), cfg.CircuitSamples,
 				func(r *rng.Stream) float64 {
 					return sampler.FreshChainDelay(r, vdd, n)
 				})
+			if err != nil {
+				return nil, err
+			}
 			s.ThreeSig = append(s.ThreeSig, stats.ThreeSigmaOverMu(chain))
 		}
 		res.Series = append(res.Series, s)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,7 +63,7 @@ func (r *Fig12Result) Render() string {
 	return b.String()
 }
 
-func runFig12(cfg Config) (Result, error) {
+func runFig12(ctx context.Context, cfg Config) (Result, error) {
 	const lanes = 128
 	local := sparing.Local{Lanes: lanes, ClusterSize: 4, SparesPerCluster: 1}
 	global := sparing.Global{NumSpares: local.Spares()}

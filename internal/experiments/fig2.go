@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -69,16 +70,19 @@ func fig2Grid(n tech.Node) []float64 {
 	return grid
 }
 
-func runFig2(cfg Config) (Result, error) {
+func runFig2(ctx context.Context, cfg Config) (Result, error) {
 	res := &Fig2Result{Samples: cfg.CircuitSamples}
 	for ni, node := range tech.Nodes() {
 		sampler := variation.NewSampler(node.Dev, node.Var)
 		s := Fig2Series{Node: node}
 		for _, vdd := range fig2Grid(node) {
-			chain := montecarlo.Sample(cfg.Seed+uint64(ni*1000)+uint64(vdd*100), cfg.CircuitSamples,
+			chain, err := montecarlo.SampleCtx(ctx, cfg.Seed+uint64(ni*1000)+uint64(vdd*100), cfg.CircuitSamples,
 				func(r *rng.Stream) float64 {
 					return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
 				})
+			if err != nil {
+				return nil, err
+			}
 			s.Vdd = append(s.Vdd, vdd)
 			s.ThreeSig = append(s.ThreeSig, stats.ThreeSigmaOverMu(chain))
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,7 +54,7 @@ func (r *Fig3Result) Render() string {
 	return b.String()
 }
 
-func runFig3(cfg Config) (Result, error) {
+func runFig3(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	dp := simd.New(node)
 	res := &Fig3Result{Node: node, Samples: cfg.ChipSamples}
@@ -77,11 +78,27 @@ func runFig3(cfg Config) (Result, error) {
 	}
 
 	nominal := node.VddNominal
-	add("critical path @1V", nominal, dp.PathDelays(cfg.Seed+1, cfg.ChipSamples, nominal))
-	add("1-wide @1V", nominal, dp.LaneDelays(cfg.Seed+2, cfg.ChipSamples, nominal))
-	add("128-wide @1V", nominal, dp.ChipDelays(cfg.Seed+3, cfg.ChipSamples, nominal, 0))
+	paths, err := dp.PathDelaysCtx(ctx, cfg.Seed+1, cfg.ChipSamples, nominal)
+	if err != nil {
+		return nil, err
+	}
+	add("critical path @1V", nominal, paths)
+	lanes, err := dp.LaneDelaysCtx(ctx, cfg.Seed+2, cfg.ChipSamples, nominal)
+	if err != nil {
+		return nil, err
+	}
+	add("1-wide @1V", nominal, lanes)
+	chips, err := dp.ChipDelaysCtx(ctx, cfg.Seed+3, cfg.ChipSamples, nominal, 0)
+	if err != nil {
+		return nil, err
+	}
+	add("128-wide @1V", nominal, chips)
 	for _, vdd := range []float64{0.6, 0.55, 0.5} {
-		add(fmt.Sprintf("128-wide @%.2fV", vdd), vdd, dp.ChipDelays(cfg.Seed+uint64(vdd*100), cfg.ChipSamples, vdd, 0))
+		chips, err := dp.ChipDelaysCtx(ctx, cfg.Seed+uint64(vdd*100), cfg.ChipSamples, vdd, 0)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("128-wide @%.2fV", vdd), vdd, chips)
 	}
 	return res, nil
 }

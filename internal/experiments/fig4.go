@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -69,14 +70,20 @@ func (s Fig4Series) Drop(vdd float64) float64 {
 	return math.NaN()
 }
 
-func runFig4(cfg Config) (Result, error) {
+func runFig4(ctx context.Context, cfg Config) (Result, error) {
 	res := &Fig4Result{Samples: cfg.ChipSamples}
 	for ni, node := range tech.Nodes() {
 		dp := simd.New(node)
-		base := dp.P99ChipDelayFO4(cfg.Seed+uint64(ni)*97, cfg.ChipSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed+uint64(ni)*97, cfg.ChipSamples, node.VddNominal, 0)
+		if err != nil {
+			return nil, err
+		}
 		s := Fig4Series{Node: node, Baseline: base}
 		for _, vdd := range fig2Grid(node) {
-			p99 := dp.P99ChipDelayFO4(cfg.Seed+uint64(ni)*97, cfg.ChipSamples, vdd, 0)
+			p99, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed+uint64(ni)*97, cfg.ChipSamples, vdd, 0)
+			if err != nil {
+				return nil, err
+			}
 			s.Vdd = append(s.Vdd, vdd)
 			s.DropPct = append(s.DropPct, 100*(p99/base-1))
 		}

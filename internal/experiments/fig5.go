@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,7 +56,7 @@ func (r *Fig5Result) Render() string {
 	return b.String()
 }
 
-func runFig5(cfg Config) (Result, error) {
+func runFig5(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	const vdd = 0.55
 	dp := simd.New(node)
@@ -63,12 +64,23 @@ func runFig5(cfg Config) (Result, error) {
 		Node: node, Vdd: vdd, Samples: cfg.ChipSamples,
 		Alphas: []int{0, 2, 4, 6, 8, 16, 28},
 	}
-	res.BaselineP99 = dp.P99ChipDelayFO4(cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineP99 = base
 	for _, a := range res.Alphas {
-		ds := dp.ChipDelaysFO4(cfg.Seed+11, cfg.ChipSamples, vdd, a)
+		ds, err := dp.ChipDelaysFO4Ctx(ctx, cfg.Seed+11, cfg.ChipSamples, vdd, a)
+		if err != nil {
+			return nil, err
+		}
 		res.Summaries = append(res.Summaries, stats.Summarize(ds))
 		res.Hists = append(res.Hists, histShape(ds, 24))
 	}
-	res.MatchAlpha = sparing.MinSpares(dp, cfg.Seed+11, cfg.SearchSamples, vdd, res.BaselineP99, 128)
+	match, err := sparing.MinSparesCtx(ctx, dp, cfg.Seed+11, cfg.SearchSamples, vdd, res.BaselineP99, 128)
+	if err != nil {
+		return nil, err
+	}
+	res.MatchAlpha = match
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,27 +68,40 @@ func (r *Fig6Result) Render() string {
 	return b.String()
 }
 
-func runFig6(cfg Config) (Result, error) {
+func runFig6(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N45
 	const vdd = 0.600
 	dp := simd.New(node)
 	res := &Fig6Result{Node: node, Samples: cfg.ChipSamples}
 
-	base := dp.P99ChipDelayFO4(cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	if err != nil {
+		return nil, err
+	}
 	res.Target = margin.TargetDelay(dp, vdd, base)
 
 	for _, v := range []float64{0.600, 0.605, 0.610, 0.615, 0.620} {
-		ds := dp.ChipDelays(cfg.Seed+19, cfg.ChipSamples, v, 0)
+		ds, err := dp.ChipDelaysCtx(ctx, cfg.Seed+19, cfg.ChipSamples, v, 0)
+		if err != nil {
+			return nil, err
+		}
 		res.Voltages = append(res.Voltages, v)
 		res.VoltP99 = append(res.VoltP99, stats.Quantile(ds, 0.99))
 		res.VoltHists = append(res.VoltHists, histShape(ds, 24))
 	}
 	for _, a := range []int{0, 4, 8, 16, 32} {
-		ds := dp.ChipDelays(cfg.Seed+19, cfg.ChipSamples, vdd, a)
+		ds, err := dp.ChipDelaysCtx(ctx, cfg.Seed+19, cfg.ChipSamples, vdd, a)
+		if err != nil {
+			return nil, err
+		}
 		res.Spares = append(res.Spares, a)
 		res.SpareP99 = append(res.SpareP99, stats.Quantile(ds, 0.99))
 		res.SpareHists = append(res.SpareHists, histShape(ds, 24))
 	}
-	res.Margin = margin.VoltageMargin(dp, cfg.Seed+19, cfg.SearchSamples, vdd, res.Target, 0.1e-3, 0)
+	vr, err := margin.VoltageMarginCtx(ctx, dp, cfg.Seed+19, cfg.SearchSamples, vdd, res.Target, 0.1e-3, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Margin = vr
 	return res, nil
 }

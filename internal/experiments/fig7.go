@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -60,17 +61,26 @@ func (r *Fig7Result) Render() string {
 	return b.String()
 }
 
-func runFig7(cfg Config) (Result, error) {
+func runFig7(ctx context.Context, cfg Config) (Result, error) {
 	const limit = 128
 	res := &Fig7Result{Samples: cfg.SearchSamples}
 	for ni, node := range tech.Nodes() {
 		dp := simd.New(node)
 		seed := cfg.Seed + uint64(ni)*3631
-		base := dp.P99ChipDelayFO4(seed, cfg.SearchSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(ctx, seed, cfg.SearchSamples, node.VddNominal, 0)
+		if err != nil {
+			return nil, err
+		}
 		for _, vdd := range table1Voltages {
-			sr := sparing.MinSpares(dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, base, limit)
+			sr, err := sparing.MinSparesCtx(ctx, dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, base, limit)
+			if err != nil {
+				return nil, err
+			}
 			target := margin.TargetDelay(dp, vdd, base)
-			vr := margin.VoltageMargin(dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, target, 0.1e-3, 0)
+			vr, err := margin.VoltageMarginCtx(ctx, dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, target, 0.1e-3, 0)
+			if err != nil {
+				return nil, err
+			}
 			pt := Fig7Point{
 				Node: node.Name, Vdd: vdd,
 				DupSpares: sr.Spares, DupFound: sr.Found,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,7 +58,7 @@ func (r *Fig8Result) Render() string {
 	return b.String()
 }
 
-func runFig8(cfg Config) (Result, error) {
+func runFig8(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N45
 	const vdd = 0.600
 	dp := simd.New(node)
@@ -66,10 +67,16 @@ func runFig8(cfg Config) (Result, error) {
 		Voltages: []float64{0.600, 0.605, 0.610, 0.615, 0.620},
 		Spares:   []int{0, 1, 2, 4, 8, 16, 26, 32},
 	}
-	base := dp.P99ChipDelayFO4(cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	if err != nil {
+		return nil, err
+	}
 	res.Target = margin.TargetDelay(dp, vdd, base)
 	for _, v := range res.Voltages {
-		curve := dp.SpareCurve(cfg.Seed+23, cfg.ChipSamples, v, res.Spares)
+		curve, err := dp.SpareCurveCtx(ctx, cfg.Seed+23, cfg.ChipSamples, v, res.Spares)
+		if err != nil {
+			return nil, err
+		}
 		row := make([]float64, len(curve))
 		fo4 := dp.FO4(v) // convert each voltage's FO4 units back to seconds
 		for j, p99 := range curve {
@@ -112,15 +119,21 @@ func (r *Table3Result) Render() string {
 	return b.String()
 }
 
-func runTable3(cfg Config) (Result, error) {
+func runTable3(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N45
 	const vdd = 0.600
 	dp := simd.New(node)
 	res := &Table3Result{Node: node, Vdd: vdd, Samples: cfg.SearchSamples}
-	base := dp.P99ChipDelayFO4(cfg.Seed, cfg.SearchSamples, node.VddNominal, 0)
+	base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed, cfg.SearchSamples, node.VddNominal, 0)
+	if err != nil {
+		return nil, err
+	}
 	target := margin.TargetDelay(dp, vdd, base)
-	res.Choices = margin.Combined(dp, cfg.Seed+29, cfg.SearchSamples, vdd, target, 0.1e-3,
+	res.Choices, err = margin.CombinedCtx(ctx, dp, cfg.Seed+29, cfg.SearchSamples, vdd, target, 0.1e-3,
 		[]int{0, 1, 2, 4, 8, 16, 26})
+	if err != nil {
+		return nil, err
+	}
 	res.Best = margin.Best(res.Choices)
 	return res, nil
 }

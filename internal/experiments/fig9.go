@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -54,7 +55,7 @@ func (r *Fig9Result) Render() string {
 	return b.String()
 }
 
-func runFig9(cfg Config) (Result, error) {
+func runFig9(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	const depth = tech.ChainLength
 	const activity = 1.0

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -80,7 +81,7 @@ func (r *ITDResult) CSV() [][]string {
 	return rows
 }
 
-func runITD(cfg Config) (Result, error) {
+func runITD(ctx context.Context, cfg Config) (Result, error) {
 	const coldK, hotK = 273, 398
 	res := &ITDResult{ColdK: coldK, HotK: hotK}
 	grid := []float64{0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00, 1.10}

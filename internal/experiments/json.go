@@ -1,0 +1,84 @@
+package experiments
+
+import "strconv"
+
+// JSONer is implemented by results that can emit a structured,
+// wire-stable payload alongside Render/CSV, for serving over the HTTP
+// API (cmd/ntvsimd). The returned value must marshal cleanly with
+// encoding/json.
+type JSONer interface {
+	JSON() any
+}
+
+// Table is the generic JSON payload for tabular results: a header row
+// and typed cells (float64 where the cell parses as a number, string
+// otherwise, nil when empty).
+type Table struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// tableJSON lifts a CSV representation (header first) into a Table with
+// numerically-typed cells.
+func tableJSON(csv [][]string) Table {
+	t := Table{}
+	if len(csv) == 0 {
+		return t
+	}
+	t.Columns = csv[0]
+	for _, row := range csv[1:] {
+		cells := make([]any, len(row))
+		for i, cell := range row {
+			switch v, err := strconv.ParseFloat(cell, 64); {
+			case cell == "":
+				cells[i] = nil
+			case err == nil:
+				cells[i] = v
+			default:
+				cells[i] = cell
+			}
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// JSON implements JSONer with a typed per-series payload; Figure 4 is
+// the service's flagship artifact, so its wire format is explicit
+// rather than the generic Table.
+func (r *Fig4Result) JSON() any {
+	type series struct {
+		Node        string    `json:"node"`
+		BaselineFO4 float64   `json:"baseline_p99_fo4"`
+		Vdd         []float64 `json:"vdd_v"`
+		DropPct     []float64 `json:"drop_pct"`
+	}
+	out := struct {
+		Samples int      `json:"samples"`
+		Series  []series `json:"series"`
+	}{Samples: r.Samples}
+	for _, s := range r.Series {
+		out.Series = append(out.Series, series{
+			Node: s.Node.Name, BaselineFO4: s.Baseline, Vdd: s.Vdd, DropPct: s.DropPct,
+		})
+	}
+	return out
+}
+
+// JSON implements JSONer.
+func (r *Fig2Result) JSON() any { return tableJSON(r.CSV()) }
+
+// JSON implements JSONer.
+func (r *Fig9Result) JSON() any { return tableJSON(r.CSV()) }
+
+// JSON implements JSONer.
+func (r *Fig11Result) JSON() any { return tableJSON(r.CSV()) }
+
+// JSON implements JSONer.
+func (r *Table1Result) JSON() any { return tableJSON(r.CSV()) }
+
+// JSON implements JSONer.
+func (r *Table2Result) JSON() any { return tableJSON(r.CSV()) }
+
+// JSON implements JSONer.
+func (r *Table4Result) JSON() any { return tableJSON(r.CSV()) }

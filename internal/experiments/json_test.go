@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tab := tableJSON([][]string{
+		{"vdd_v", "node", "drop_pct"},
+		{"0.5", "90nm", "5.1"},
+		{"0.55", "90nm", ""},
+	})
+	if len(tab.Columns) != 3 || len(tab.Rows) != 2 {
+		t.Fatalf("shape = %dx%d", len(tab.Columns), len(tab.Rows))
+	}
+	if v, ok := tab.Rows[0][0].(float64); !ok || v != 0.5 {
+		t.Errorf("numeric cell = %#v", tab.Rows[0][0])
+	}
+	if s, ok := tab.Rows[0][1].(string); !ok || s != "90nm" {
+		t.Errorf("string cell = %#v", tab.Rows[0][1])
+	}
+	if tab.Rows[1][2] != nil {
+		t.Errorf("empty cell = %#v", tab.Rows[1][2])
+	}
+}
+
+// TestJSONersMarshal runs the CSV-capable experiments at quick scale and
+// checks every JSON payload survives a marshal round trip.
+func TestJSONersMarshal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	for _, id := range []string{"fig2", "fig4", "fig9", "fig11", "table1", "table2", "table4"} {
+		res := runQuick(t, id)
+		j, ok := res.(JSONer)
+		if !ok {
+			t.Errorf("%s: no JSON method", id)
+			continue
+		}
+		b, err := json.Marshal(j.JSON())
+		if err != nil {
+			t.Errorf("%s: marshal: %v", id, err)
+			continue
+		}
+		if len(b) < 20 {
+			t.Errorf("%s: implausibly small payload %q", id, b)
+		}
+	}
+}
+
+func TestFig4JSONShape(t *testing.T) {
+	res := runQuick(t, "fig4")
+	b, err := json.Marshal(res.(JSONer).JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"samples"`, `"series"`, `"node"`, `"drop_pct"`, `"baseline_p99_fo4"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("fig4 JSON missing %s in %.200s…", want, b)
+		}
+	}
+}

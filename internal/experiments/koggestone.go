@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,7 +58,7 @@ func (r *KSResult) Render() string {
 	return b.String()
 }
 
-func runKoggeStone(cfg Config) (Result, error) {
+func runKoggeStone(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	ks := circuit.KoggeStone(64)
 	ripple := circuit.RippleCarry(64)
@@ -67,18 +68,30 @@ func runKoggeStone(cfg Config) (Result, error) {
 
 	for _, vdd := range []float64{1.0, 0.7, 0.5} {
 		seed := cfg.Seed + uint64(vdd*1000)
-		ksDelays := montecarlo.Sample(seed+1, cfg.CircuitSamples, func(r *rng.Stream) float64 {
+		ksDelays, err := montecarlo.SampleCtx(ctx, seed+1, cfg.CircuitSamples, func(r *rng.Stream) float64 {
 			return ks.Delay(sampler, r, vdd, sampler.Die(r))
 		})
-		rcDelays := montecarlo.Sample(seed+2, cfg.CircuitSamples, func(r *rng.Stream) float64 {
+		if err != nil {
+			return nil, err
+		}
+		rcDelays, err := montecarlo.SampleCtx(ctx, seed+2, cfg.CircuitSamples, func(r *rng.Stream) float64 {
 			return ripple.Delay(sampler, r, vdd, sampler.Die(r))
 		})
-		multDelays := montecarlo.Sample(seed+4, cfg.CircuitSamples, func(r *rng.Stream) float64 {
+		if err != nil {
+			return nil, err
+		}
+		multDelays, err := montecarlo.SampleCtx(ctx, seed+4, cfg.CircuitSamples, func(r *rng.Stream) float64 {
 			return mult.Delay(sampler, r, vdd, sampler.Die(r))
 		})
-		chain := montecarlo.Sample(seed+3, cfg.CircuitSamples, func(r *rng.Stream) float64 {
+		if err != nil {
+			return nil, err
+		}
+		chain, err := montecarlo.SampleCtx(ctx, seed+3, cfg.CircuitSamples, func(r *rng.Stream) float64 {
 			return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
 		})
+		if err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, KSRow{
 			Vdd:    vdd,
 			KS64:   stats.ThreeSigmaOverMu(ksDelays),

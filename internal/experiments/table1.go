@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -78,15 +79,21 @@ func (r *Table1Result) Render() string {
 	return b.String()
 }
 
-func runTable1(cfg Config) (Result, error) {
+func runTable1(ctx context.Context, cfg Config) (Result, error) {
 	const limit = 128
 	res := &Table1Result{Samples: cfg.SearchSamples, Limit: limit}
 	for ni, node := range tech.Nodes() {
 		dp := simd.New(node)
 		seed := cfg.Seed + uint64(ni)*1313
-		base := dp.P99ChipDelayFO4(seed, cfg.SearchSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(ctx, seed, cfg.SearchSamples, node.VddNominal, 0)
+		if err != nil {
+			return nil, err
+		}
 		for _, vdd := range table1Voltages {
-			sr := sparing.MinSpares(dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, base, limit)
+			sr, err := sparing.MinSparesCtx(ctx, dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, base, limit)
+			if err != nil {
+				return nil, err
+			}
 			cell := Table1Cell{Node: node.Name, Vdd: vdd, Search: sr}
 			if sr.Found {
 				cell.AreaPct = power.SpareAreaOverheadPct(sr.Spares)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,16 +58,22 @@ func (r *Table2Result) Render() string {
 	return b.String()
 }
 
-func runTable2(cfg Config) (Result, error) {
+func runTable2(ctx context.Context, cfg Config) (Result, error) {
 	res := &Table2Result{Samples: cfg.SearchSamples}
 	const step = 0.1e-3 // 0.1 mV search granularity
 	for ni, node := range tech.Nodes() {
 		dp := simd.New(node)
 		seed := cfg.Seed + uint64(ni)*2357
-		base := dp.P99ChipDelayFO4(seed, cfg.SearchSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(ctx, seed, cfg.SearchSamples, node.VddNominal, 0)
+		if err != nil {
+			return nil, err
+		}
 		for _, vdd := range table1Voltages {
 			target := margin.TargetDelay(dp, vdd, base)
-			vr := margin.VoltageMargin(dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, target, step, 0)
+			vr, err := margin.VoltageMarginCtx(ctx, dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, target, step, 0)
+			if err != nil {
+				return nil, err
+			}
 			res.Cells = append(res.Cells, Table2Cell{Node: node.Name, Vdd: vdd, Result: vr})
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -58,14 +59,20 @@ func (r *Table4Result) Render() string {
 	return b.String()
 }
 
-func runTable4(cfg Config) (Result, error) {
+func runTable4(ctx context.Context, cfg Config) (Result, error) {
 	res := &Table4Result{Samples: cfg.ChipSamples}
 	for ni, node := range tech.Nodes() {
 		dp := simd.New(node)
 		seed := cfg.Seed + uint64(ni)*4241
-		base := dp.P99ChipDelayFO4(seed, cfg.ChipSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(ctx, seed, cfg.ChipSamples, node.VddNominal, 0)
+		if err != nil {
+			return nil, err
+		}
 		for _, vdd := range table1Voltages {
-			fr := margin.FrequencyMargin(dp, seed, cfg.ChipSamples, vdd, base)
+			fr, err := margin.FrequencyMarginCtx(ctx, dp, seed, cfg.ChipSamples, vdd, base)
+			if err != nil {
+				return nil, err
+			}
 			res.Cells = append(res.Cells, Table4Cell{Node: node.Name, Vdd: vdd, Result: fr})
 		}
 	}

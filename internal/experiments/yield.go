@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,7 +70,7 @@ func (r *YieldResult) CSV() [][]string {
 	return rows
 }
 
-func runYield(cfg Config) (Result, error) {
+func runYield(ctx context.Context, cfg Config) (Result, error) {
 	node := tech.N90
 	const vdd = 0.55
 	const spares = 8

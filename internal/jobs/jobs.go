@@ -1,0 +1,298 @@
+// Package jobs runs experiment work asynchronously on a bounded worker
+// pool with per-job cancellation.
+//
+// A Manager owns a fixed number of worker goroutines pulling from a
+// bounded queue. Each submitted job carries its own context.Context;
+// Cancel propagates through that context into the job's Monte-Carlo
+// sampling loops (see internal/montecarlo's Ctx entry points), so a
+// cancelled job stops burning CPU within one polling chunk rather than
+// running to completion. Jobs move through the states queued → running
+// → done/failed/cancelled; a queued job that is cancelled never runs.
+//
+// The package is deliberately generic — a job is any
+// func(context.Context) (any, error) — so it stays decoupled from the
+// experiments registry and is reusable for other asynchronous work.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Func is the unit of work: it must honor ctx and return promptly once
+// ctx is cancelled (typically by returning ctx.Err()).
+type Func func(ctx context.Context) (any, error)
+
+// ErrQueueFull is returned by Submit when the pending-job queue is at
+// capacity; callers should retry later (the HTTP layer maps it to 503).
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// Snapshot is a point-in-time copy of a job's externally visible state.
+type Snapshot struct {
+	ID       string
+	Name     string // free-form label, e.g. the experiment id
+	State    State
+	Value    any    // result of a Done job
+	Error    string // failure or cancellation cause
+	Created  time.Time
+	Started  time.Time // zero until the job leaves the queue
+	Finished time.Time // zero until the job reaches a terminal state
+}
+
+type job struct {
+	id      string
+	name    string
+	fn      Func
+	ctx     context.Context
+	cancel  context.CancelFunc
+	state   State
+	value   any
+	err     string
+	created time.Time
+	started time.Time
+	done    time.Time
+}
+
+// Counters is the manager's cumulative event tally for metrics.
+type Counters struct {
+	Started, Completed, Failed, Cancelled uint64
+}
+
+// Manager is a bounded worker pool executing jobs. All methods are safe
+// for concurrent use.
+type Manager struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	closed   bool
+	counters Counters
+	now      func() time.Time // injectable for tests
+}
+
+// NewManager starts a pool of workers goroutines with a pending queue of
+// depth queueDepth. workers and queueDepth are clamped to at least 1.
+func NewManager(workers, queueDepth int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	m := &Manager{
+		queue: make(chan *job, queueDepth),
+		jobs:  make(map[string]*job),
+		now:   time.Now,
+	}
+	m.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues fn under the given display name and returns the new
+// job's id. It fails fast with ErrQueueFull when the queue is at
+// capacity and ErrClosed after Close.
+func (m *Manager) Submit(name string, fn Func) (string, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:     newID(),
+		name:   name,
+		fn:     fn,
+		ctx:    ctx,
+		cancel: cancel,
+		state:  Queued,
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	j.created = m.now()
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		return j.id, nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, j.id)
+		m.mu.Unlock()
+		cancel()
+		return "", ErrQueueFull
+	}
+}
+
+// Get returns a snapshot of the job with the given id.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns snapshots of all known jobs in unspecified order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// Cancel requests cancellation of the job with the given id. A queued
+// job is finalized as Cancelled immediately and will never run; a
+// running job's context is cancelled and the job finalizes as Cancelled
+// once its Func returns. Cancel reports whether the job exists and was
+// still cancellable (not already terminal), along with the state the
+// job was in when the cancellation took hold — Queued means it never
+// ran, Running means its Func is still draining.
+func (m *Manager) Cancel(id string) (State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.state.Terminal() {
+		return "", false
+	}
+	was := j.state
+	j.cancel()
+	if j.state == Queued {
+		// The worker that eventually pops this job skips it.
+		j.state = Cancelled
+		j.err = context.Canceled.Error()
+		j.done = m.now()
+		m.counters.Cancelled++
+	}
+	return was, true
+}
+
+// Counters returns the cumulative job-event counts.
+func (m *Manager) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters
+}
+
+// Running returns the number of jobs currently executing.
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if j.state == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops accepting submissions, waits for queued and running jobs
+// to drain, and releases the workers.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.mu.Lock()
+		if j.state.Terminal() { // cancelled while queued
+			m.mu.Unlock()
+			continue
+		}
+		j.state = Running
+		j.started = m.now()
+		m.counters.Started++
+		m.mu.Unlock()
+
+		value, err := j.fn(j.ctx)
+
+		m.mu.Lock()
+		j.done = m.now()
+		switch {
+		case j.ctx.Err() != nil || errors.Is(err, context.Canceled):
+			j.state = Cancelled
+			if cause := context.Cause(j.ctx); cause != nil {
+				j.err = cause.Error()
+			} else if err != nil {
+				j.err = err.Error()
+			}
+			m.counters.Cancelled++
+		case err != nil:
+			j.state = Failed
+			j.err = err.Error()
+			m.counters.Failed++
+		default:
+			j.state = Done
+			j.value = value
+			m.counters.Completed++
+		}
+		j.cancel() // release the context's resources
+		m.mu.Unlock()
+	}
+}
+
+// snapshot copies the externally visible fields; callers hold m.mu.
+func (j *job) snapshot() Snapshot {
+	return Snapshot{
+		ID:       j.id,
+		Name:     j.name,
+		State:    j.state,
+		Value:    j.value,
+		Error:    j.err,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.done,
+	}
+}
+
+// newID returns a 16-hex-digit random job id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// time-derived id rather than panicking in a long-lived service.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,236 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+// waitState polls until the job reaches a terminal state or the deadline
+// expires, returning the final snapshot.
+func waitState(t *testing.T, m *Manager, id string, timeout time.Duration) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		s, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if s.State.Terminal() {
+			return s
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s, _ := m.Get(id)
+	t.Fatalf("job %s stuck in state %s after %v", id, s.State, timeout)
+	return Snapshot{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m := NewManager(2, 8)
+	defer m.Close()
+	id, err := m.Submit("ok", func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := waitState(t, m, id, 5*time.Second)
+	if s.State != Done || s.Value != 42 || s.Name != "ok" {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Finished.Before(s.Created) {
+		t.Error("finished before created")
+	}
+
+	id, err = m.Submit("boom", func(ctx context.Context) (any, error) {
+		return nil, errors.New("kaput")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s = waitState(t, m, id, 5*time.Second); s.State != Failed || s.Error != "kaput" {
+		t.Errorf("failed snapshot = %+v", s)
+	}
+
+	if _, ok := m.Get("no-such-id"); ok {
+		t.Error("Get invented a job")
+	}
+}
+
+// TestCancelMidRunStopsSampling submits a job that would evaluate 2^22
+// Monte-Carlo samples, cancels it as soon as sampling starts, and
+// asserts both that the job finalizes as Cancelled quickly and that the
+// sampler stopped far short of the full run.
+func TestCancelMidRunStopsSampling(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Close()
+
+	const n = 1 << 22
+	var evaluated atomic.Int64
+	started := make(chan struct{})
+	var once atomic.Bool
+	id, err := m.Submit("mc", func(ctx context.Context) (any, error) {
+		return montecarlo.SampleCtx(ctx, 7, n, func(r *rng.Stream) float64 {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			evaluated.Add(1)
+			time.Sleep(10 * time.Microsecond) // make the full run take minutes
+			return r.Float64()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started sampling")
+	}
+	was, ok := m.Cancel(id)
+	if !ok {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	if was != Running {
+		t.Fatalf("Cancel reported prior state %s, want running", was)
+	}
+	s := waitState(t, m, id, 5*time.Second)
+	if s.State != Cancelled {
+		t.Fatalf("state = %s, want cancelled", s.State)
+	}
+	if got := evaluated.Load(); got >= n/2 {
+		t.Errorf("sampling did not stop: %d of %d samples evaluated", got, n)
+	}
+	if c := m.Counters(); c.Cancelled != 1 {
+		t.Errorf("counters = %+v, want 1 cancellation", c)
+	}
+}
+
+// TestWorkerPoolBound submits more blocking jobs than workers and
+// asserts the pool never runs more than its configured width.
+func TestWorkerPoolBound(t *testing.T) {
+	const workers = 2
+	m := NewManager(workers, 16)
+	defer m.Close()
+
+	var running, peak atomic.Int64
+	gate := make(chan struct{})
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		id, err := m.Submit("gated", func(ctx context.Context) (any, error) {
+			cur := running.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			defer running.Add(-1)
+			select {
+			case <-gate:
+				return nil, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Give the pool time to pull as much as it (wrongly) could.
+	time.Sleep(50 * time.Millisecond)
+	if got := m.Running(); got != workers {
+		t.Errorf("Running = %d, want %d", got, workers)
+	}
+	close(gate)
+	for _, id := range ids {
+		if s := waitState(t, m, id, 5*time.Second); s.State != Done {
+			t.Errorf("job %s = %s", id, s.State)
+		}
+	}
+	if p := peak.Load(); p != workers {
+		t.Errorf("peak concurrency %d, want %d", p, workers)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	m := NewManager(1, 1)
+	defer m.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	// One job occupies the worker, one fills the queue; give the worker
+	// a moment to pull the first so the queue slot is free.
+	if _, err := m.Submit("w", block); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := m.Submit("q", block); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("overflow", block); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestCancelQueuedNeverRuns cancels a job while it waits behind a
+// blocking one and asserts its Func is never invoked.
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Close()
+	gate := make(chan struct{})
+	if _, err := m.Submit("blocker", func(ctx context.Context) (any, error) {
+		<-gate
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Bool
+	id, err := m.Submit("victim", func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	was, ok := m.Cancel(id)
+	if !ok {
+		t.Fatal("Cancel failed for queued job")
+	}
+	if was != Queued {
+		t.Fatalf("Cancel reported prior state %s, want queued", was)
+	}
+	if s, _ := m.Get(id); s.State != Cancelled {
+		t.Fatalf("state = %s immediately after queued cancel", s.State)
+	}
+	close(gate)
+	m.Close()
+	if ran.Load() {
+		t.Error("cancelled queued job still ran")
+	}
+	if _, ok := m.Cancel(id); ok {
+		t.Error("Cancel succeeded twice")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	m := NewManager(1, 1)
+	m.Close()
+	if _, err := m.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}

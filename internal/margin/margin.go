@@ -9,6 +9,7 @@
 package margin
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,6 +28,11 @@ func TargetDelay(dp *simd.Datapath, vdd, baselineFO4 float64) float64 {
 // no spares — the reference every technique must match.
 func Baseline(dp *simd.Datapath, seed uint64, n int) float64 {
 	return dp.P99ChipDelayFO4(seed, n, dp.Node.VddNominal, 0)
+}
+
+// BaselineCtx is Baseline with cooperative cancellation.
+func BaselineCtx(ctx context.Context, dp *simd.Datapath, seed uint64, n int) (float64, error) {
+	return dp.P99ChipDelayFO4Ctx(ctx, seed, n, dp.Node.VddNominal, 0)
 }
 
 // VoltageResult reports a voltage-margin search.
@@ -49,24 +55,44 @@ func (v VoltageResult) String() string {
 // seed is used at every trial voltage, so the 99 % delay is a smooth,
 // monotone function of V_M and bisection is exact.
 func VoltageMargin(dp *simd.Datapath, seed uint64, n int, vdd, target, stepV float64, spares int) VoltageResult {
+	res, _ := VoltageMarginCtx(context.Background(), dp, seed, n, vdd, target, stepV, spares)
+	return res
+}
+
+// VoltageMarginCtx is VoltageMargin with cooperative cancellation: every
+// trial-voltage evaluation polls ctx between Monte-Carlo worker chunks,
+// and the search stops with ctx's error as soon as one observes
+// cancellation. Bit-identical to VoltageMargin when ctx is never
+// cancelled.
+func VoltageMarginCtx(ctx context.Context, dp *simd.Datapath, seed uint64, n int, vdd, target, stepV float64, spares int) (VoltageResult, error) {
 	if stepV <= 0 {
 		stepV = 0.1e-3
 	}
-	p99At := func(vm float64) float64 {
+	p99At := func(vm float64) (float64, error) {
 		// SpareCurve reports FO4 units at its own supply; convert back
 		// to absolute seconds at vdd+vm for comparison with the target.
-		return dp.SpareCurve(seed, n, vdd+vm, []int{spares})[0] * dp.FO4(vdd+vm)
+		curve, err := dp.SpareCurveCtx(ctx, seed, n, vdd+vm, []int{spares})
+		if err != nil {
+			return 0, err
+		}
+		return curve[0] * dp.FO4(vdd+vm), nil
 	}
 	res := VoltageResult{Vdd: vdd, Target: target}
 	lo, hi := 0.0, 0.0
-	p99 := p99At(0)
+	p99, err := p99At(0)
+	if err != nil {
+		return res, err
+	}
 	if p99 <= target {
 		res.P99 = p99
-		return res // no margin needed
+		return res, nil // no margin needed
 	}
 	// Exponentially widen until the target is met.
 	for hi = stepV * 8; ; hi *= 2 {
-		p99 = p99At(hi)
+		p99, err = p99At(hi)
+		if err != nil {
+			return res, err
+		}
 		if p99 <= target {
 			break
 		}
@@ -75,12 +101,16 @@ func VoltageMargin(dp *simd.Datapath, seed uint64, n int, vdd, target, stepV flo
 			res.Margin = math.Inf(1)
 			res.P99 = p99
 			res.PowerPct = math.Inf(1)
-			return res
+			return res, nil
 		}
 	}
 	for hi-lo > stepV/2 {
 		mid := (lo + hi) / 2
-		if p99At(mid) <= target {
+		p99mid, err := p99At(mid)
+		if err != nil {
+			return res, err
+		}
+		if p99mid <= target {
 			hi = mid
 		} else {
 			lo = mid
@@ -91,9 +121,12 @@ func VoltageMargin(dp *simd.Datapath, seed uint64, n int, vdd, target, stepV flo
 	// target).
 	vm := math.Ceil(hi/stepV-1e-9) * stepV
 	res.Margin = vm
-	res.P99 = p99At(vm)
+	res.P99, err = p99At(vm)
+	if err != nil {
+		return res, err
+	}
 	res.PowerPct = power.MarginPowerOverheadPct(vdd, vm)
-	return res
+	return res, nil
 }
 
 // FrequencyResult reports frequency margining at one voltage (§4.3 /
@@ -109,14 +142,24 @@ type FrequencyResult struct {
 // FrequencyMargin computes the Table 4 row for dp at vdd given the
 // nominal-voltage baseline 99 % FO4 chip delay.
 func FrequencyMargin(dp *simd.Datapath, seed uint64, n int, vdd, baselineFO4 float64) FrequencyResult {
+	res, _ := FrequencyMarginCtx(context.Background(), dp, seed, n, vdd, baselineFO4)
+	return res
+}
+
+// FrequencyMarginCtx is FrequencyMargin with cooperative cancellation.
+func FrequencyMarginCtx(ctx context.Context, dp *simd.Datapath, seed uint64, n int, vdd, baselineFO4 float64) (FrequencyResult, error) {
 	tclk := TargetDelay(dp, vdd, baselineFO4)
-	tva := dp.P99ChipDelayFO4(seed, n, vdd, 0) * dp.FO4(vdd)
+	p99, err := dp.P99ChipDelayFO4Ctx(ctx, seed, n, vdd, 0)
+	if err != nil {
+		return FrequencyResult{Vdd: vdd, TClk: tclk}, err
+	}
+	tva := p99 * dp.FO4(vdd)
 	return FrequencyResult{
 		Vdd:     vdd,
 		TClk:    tclk,
 		TVaClk:  tva,
 		DropPct: 100 * (tva/tclk - 1),
-	}
+	}, nil
 }
 
 // Choice is one point of the combined duplication + margining design
@@ -138,16 +181,26 @@ func (c Choice) String() string {
 // many spares, and the summed power overhead. The returned slice is in
 // input order; use Best to pick the cheapest.
 func Combined(dp *simd.Datapath, seed uint64, n int, vdd, target, stepV float64, spares []int) []Choice {
+	out, _ := CombinedCtx(context.Background(), dp, seed, n, vdd, target, stepV, spares)
+	return out
+}
+
+// CombinedCtx is Combined with cooperative cancellation: it stops at the
+// first spare count whose margin search observes ctx's cancellation.
+func CombinedCtx(ctx context.Context, dp *simd.Datapath, seed uint64, n int, vdd, target, stepV float64, spares []int) ([]Choice, error) {
 	out := make([]Choice, 0, len(spares))
 	for _, a := range spares {
-		vr := VoltageMargin(dp, seed, n, vdd, target, stepV, a)
+		vr, err := VoltageMarginCtx(ctx, dp, seed, n, vdd, target, stepV, a)
+		if err != nil {
+			return out, err
+		}
 		out = append(out, Choice{
 			Spares:   a,
 			Margin:   vr.Margin,
 			PowerPct: power.SparePowerOverheadPct(a) + vr.PowerPct,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Best returns the minimum-power choice, preferring fewer spares on ties.

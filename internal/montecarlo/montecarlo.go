@@ -4,86 +4,166 @@
 // seed, so results are bit-identical regardless of GOMAXPROCS or
 // scheduling order — a requirement for the reproducibility claims of the
 // study (and for stable golden tests).
+//
+// Each entry point has a context-aware variant (SampleCtx, SampleVecCtx,
+// MomentsCtx) that checks for cancellation once per worker chunk of
+// checkEvery samples. An uncancelled context changes nothing: the same
+// sub-stream derivation runs in the same index order, so results stay
+// bit-identical to the context-free variants. The package also keeps a
+// process-wide count of evaluated samples (SamplesEvaluated) for service
+// metrics.
 package montecarlo
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ntvsim/ntvsim/internal/rng"
 	"github.com/ntvsim/ntvsim/internal/stats"
 )
 
+// checkEvery is the cancellation-poll granularity: each worker checks
+// ctx.Done() once per checkEvery evaluated samples, bounding the extra
+// work after cancellation to checkEvery·workers samples.
+const checkEvery = 64
+
+// samplesEvaluated counts every fn invocation completed by this package
+// across all entry points, for service-level metrics.
+var samplesEvaluated atomic.Uint64
+
+// SamplesEvaluated returns the process-wide number of Monte-Carlo sample
+// evaluations completed since startup.
+func SamplesEvaluated() uint64 { return samplesEvaluated.Load() }
+
 // Sample evaluates fn for n independent sample indices and returns the
 // values in index order. Each invocation receives a PRNG stream derived
 // from (seed, index).
 func Sample(seed uint64, n int, fn func(r *rng.Stream) float64) []float64 {
-	out := make([]float64, n)
-	parallelFor(n, func(i int) {
-		out[i] = fn(rng.NewSub(seed, i))
-	})
+	out, _ := SampleCtx(context.Background(), seed, n, fn)
 	return out
+}
+
+// SampleCtx is Sample with cooperative cancellation: workers poll ctx
+// every checkEvery samples and the call returns ctx's error once any
+// worker observes cancellation. When ctx is never cancelled the result
+// is bit-identical to Sample with the same arguments.
+func SampleCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) float64) ([]float64, error) {
+	out := make([]float64, n)
+	if err := parallelFor(ctx, n, func(i int) {
+		out[i] = fn(rng.NewSub(seed, i))
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SampleVec evaluates a vector-valued fn for n sample indices. fn must
 // write its outputs into dst (length width); the result is an n×width
 // row-major matrix flattened into rows.
 func SampleVec(seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) [][]float64 {
+	out, _ := SampleVecCtx(context.Background(), seed, n, width, fn)
+	return out
+}
+
+// SampleVecCtx is SampleVec with cooperative cancellation, under the
+// same bit-identical-when-uncancelled contract as SampleCtx.
+func SampleVecCtx(ctx context.Context, seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) ([][]float64, error) {
 	out := make([][]float64, n)
-	parallelFor(n, func(i int) {
+	if err := parallelFor(ctx, n, func(i int) {
 		row := make([]float64, width)
 		fn(rng.NewSub(seed, i), row)
 		out[i] = row
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Moments evaluates fn for n sample indices and accumulates streaming
 // moments without retaining individual samples. Use it when only μ, σ
 // and extrema are needed and n is large.
 func Moments(seed uint64, n int, fn func(r *rng.Stream) float64) stats.Stream {
+	s, _ := MomentsCtx(context.Background(), seed, n, fn)
+	return s
+}
+
+// MomentsCtx is Moments with cooperative cancellation, under the same
+// bit-identical-when-uncancelled contract as SampleCtx.
+func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) float64) (stats.Stream, error) {
 	workers := workerCount(n)
 	partial := make([]stats.Stream, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := span(n, workers, w)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			errs[w] = runSpan(ctx, lo, hi, func(i int) {
 				partial[w].Add(fn(rng.NewSub(seed, i)))
-			}
+			})
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Stream{}, err
+		}
+	}
 	var total stats.Stream
 	for w := range partial {
 		total.Merge(&partial[w])
 	}
-	return total
+	return total, nil
 }
 
-// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers.
-func parallelFor(n int, body func(i int)) {
+// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers,
+// returning ctx's error if cancellation is observed before completion.
+func parallelFor(ctx context.Context, n int, body func(i int)) error {
 	workers := workerCount(n)
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
+		return runSpan(ctx, 0, n, body)
 	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := span(n, workers, w)
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
+			errs[w] = runSpan(ctx, lo, hi, body)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSpan executes body over [lo, hi) in index order, polling ctx once
+// per checkEvery iterations and crediting completed evaluations to the
+// process-wide sample counter.
+func runSpan(ctx context.Context, lo, hi int, body func(i int)) error {
+	done := ctx.Done()
+	evaluated := 0
+	defer func() { samplesEvaluated.Add(uint64(evaluated)) }()
+	for i := lo; i < hi; i++ {
+		if done != nil && evaluated%checkEvery == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		body(i)
+		evaluated++
+	}
+	return nil
 }
 
 func workerCount(n int) int {

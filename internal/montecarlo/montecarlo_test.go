@@ -1,8 +1,11 @@
 package montecarlo
 
 import (
+	"context"
+	"errors"
 	"math"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"github.com/ntvsim/ntvsim/internal/rng"
@@ -102,6 +105,71 @@ func TestSmallN(t *testing.T) {
 	}
 	if got := Sample(1, 1, func(*rng.Stream) float64 { return 42 }); len(got) != 1 || got[0] != 42 {
 		t.Error("n=1 mishandled")
+	}
+}
+
+func TestSampleCtxBitIdentical(t *testing.T) {
+	f := func(r *rng.Stream) float64 { return r.Norm() }
+	plain := Sample(42, 2000, f)
+	withCtx, err := SampleCtx(context.Background(), 42, 2000, f)
+	if err != nil {
+		t.Fatalf("SampleCtx: %v", err)
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("index %d: SampleCtx %v != Sample %v", i, withCtx[i], plain[i])
+		}
+	}
+	st := Moments(42, 2000, f)
+	stCtx, err := MomentsCtx(context.Background(), 42, 2000, f)
+	if err != nil {
+		t.Fatalf("MomentsCtx: %v", err)
+	}
+	if st.Mean() != stCtx.Mean() || st.N() != stCtx.N() {
+		t.Errorf("MomentsCtx (μ=%v n=%d) != Moments (μ=%v n=%d)",
+			stCtx.Mean(), stCtx.N(), st.Mean(), st.N())
+	}
+}
+
+func TestSampleCtxCancelStopsSampling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1 << 20
+	var evaluated atomic.Int64
+	_, err := SampleCtx(ctx, 3, n, func(r *rng.Stream) float64 {
+		if evaluated.Add(1) == 100 {
+			cancel()
+		}
+		return r.Float64()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each worker stops within checkEvery samples of the cancellation.
+	limit := int64(100 + (runtime.GOMAXPROCS(0)+1)*checkEvery)
+	if got := evaluated.Load(); got >= n || got > limit {
+		t.Errorf("evaluated %d samples after cancel (limit %d of %d)", got, limit, n)
+	}
+}
+
+func TestSampleCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SampleCtx(ctx, 1, 100, func(*rng.Stream) float64 { return 0 }); err == nil {
+		t.Error("pre-cancelled context accepted")
+	}
+	if _, err := MomentsCtx(ctx, 1, 100, func(*rng.Stream) float64 { return 0 }); err == nil {
+		t.Error("MomentsCtx pre-cancelled context accepted")
+	}
+	if _, err := SampleVecCtx(ctx, 1, 100, 2, func(*rng.Stream, []float64) {}); err == nil {
+		t.Error("SampleVecCtx pre-cancelled context accepted")
+	}
+}
+
+func TestSamplesEvaluatedCounter(t *testing.T) {
+	before := SamplesEvaluated()
+	Sample(9, 1234, func(r *rng.Stream) float64 { return r.Float64() })
+	if got := SamplesEvaluated() - before; got < 1234 {
+		t.Errorf("counter advanced by %d, want ≥ 1234", got)
 	}
 }
 

@@ -1,0 +1,110 @@
+// Package resultcache provides a concurrency-safe, bounded, in-memory
+// LRU cache for experiment results, keyed by content-addressed strings.
+//
+// The service layer (cmd/ntvsimd) keys entries by the SHA-256 of the
+// canonical JSON encoding of (experiment id, normalized Config), so two
+// requests that describe the same computation — regardless of field
+// order or defaulted fields — hit the same entry and are served without
+// recomputing thousands of Monte-Carlo samples. Because every
+// experiment is a pure function of its normalized configuration
+// (deterministic seeded sampling), cached results never go stale.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key returns a stable content-addressed cache key for v: the hex
+// SHA-256 of its JSON encoding. Values that encode identically (e.g.
+// two equal structs) always produce the same key.
+func Key(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Fall back to the fmt representation; still deterministic for
+		// the comparable structs used as keys.
+		b = []byte(fmt.Sprintf("%#v", v))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a bounded LRU cache from string keys to values of type V.
+// All methods are safe for concurrent use. The zero Cache is not valid;
+// use New.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a Cache holding at most max entries; the least recently
+// used entry is evicted on overflow. max <= 0 means unbounded.
+func New[V any](max int) *Cache[V] {
+	return &Cache[V]{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value stored under key and marks it most recently
+// used. The second result reports whether the key was present; the
+// lookup is counted as a hit or miss accordingly.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[V]).val, true
+}
+
+// Put stores val under key, replacing any existing entry and evicting
+// the least recently used entry if the bound is exceeded.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+	if c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry[V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -26,6 +26,7 @@
 package simd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -506,8 +507,15 @@ func (dp *Datapath) SampleChipDelay(r *rng.Stream, vdd float64, spares int) floa
 // vdd with the given spare count. Results are in seconds, in sample
 // order, deterministic for a given seed.
 func (dp *Datapath) ChipDelays(seed uint64, n int, vdd float64, spares int) []float64 {
+	ds, _ := dp.ChipDelaysCtx(context.Background(), seed, n, vdd, spares)
+	return ds
+}
+
+// ChipDelaysCtx is ChipDelays with cooperative cancellation; results are
+// bit-identical to ChipDelays when ctx is never cancelled.
+func (dp *Datapath) ChipDelaysCtx(ctx context.Context, seed uint64, n int, vdd float64, spares int) ([]float64, error) {
 	dp.prepare(vdd)
-	return montecarlo.Sample(seed, n, func(r *rng.Stream) float64 {
+	return montecarlo.SampleCtx(ctx, seed, n, func(r *rng.Stream) float64 {
 		return dp.SampleChipDelay(r, vdd, spares)
 	})
 }
@@ -528,28 +536,52 @@ func (dp *Datapath) prepare(vdd float64) {
 
 // ChipDelaysFO4 is ChipDelays normalized to FO4 delay units at vdd.
 func (dp *Datapath) ChipDelaysFO4(seed uint64, n int, vdd float64, spares int) []float64 {
-	ds := dp.ChipDelays(seed, n, vdd, spares)
+	ds, _ := dp.ChipDelaysFO4Ctx(context.Background(), seed, n, vdd, spares)
+	return ds
+}
+
+// ChipDelaysFO4Ctx is ChipDelaysFO4 with cooperative cancellation.
+func (dp *Datapath) ChipDelaysFO4Ctx(ctx context.Context, seed uint64, n int, vdd float64, spares int) ([]float64, error) {
+	ds, err := dp.ChipDelaysCtx(ctx, seed, n, vdd, spares)
+	if err != nil {
+		return nil, err
+	}
 	fo4 := dp.FO4(vdd)
 	for i := range ds {
 		ds[i] /= fo4
 	}
-	return ds
+	return ds, nil
 }
 
 // P99ChipDelayFO4 returns the 99 % point of the FO4-normalized chip
 // delay distribution — the paper's operating metric for every
 // architecture-level comparison.
 func (dp *Datapath) P99ChipDelayFO4(seed uint64, n int, vdd float64, spares int) float64 {
-	ds := dp.ChipDelaysFO4(seed, n, vdd, spares)
+	p99, _ := dp.P99ChipDelayFO4Ctx(context.Background(), seed, n, vdd, spares)
+	return p99
+}
+
+// P99ChipDelayFO4Ctx is P99ChipDelayFO4 with cooperative cancellation.
+func (dp *Datapath) P99ChipDelayFO4Ctx(ctx context.Context, seed uint64, n int, vdd float64, spares int) (float64, error) {
+	ds, err := dp.ChipDelaysFO4Ctx(ctx, seed, n, vdd, spares)
+	if err != nil {
+		return 0, err
+	}
 	sort.Float64s(ds)
-	return quantileSorted(ds, 0.99)
+	return quantileSorted(ds, 0.99), nil
 }
 
 // LaneDelays draws n independent one-lane samples (the paper's "1-wide"
 // curve in Figure 3), in seconds.
 func (dp *Datapath) LaneDelays(seed uint64, n int, vdd float64) []float64 {
+	ds, _ := dp.LaneDelaysCtx(context.Background(), seed, n, vdd)
+	return ds
+}
+
+// LaneDelaysCtx is LaneDelays with cooperative cancellation.
+func (dp *Datapath) LaneDelaysCtx(ctx context.Context, seed uint64, n int, vdd float64) ([]float64, error) {
 	dp.prepare(vdd)
-	return montecarlo.Sample(seed, n, func(r *rng.Stream) float64 {
+	return montecarlo.SampleCtx(ctx, seed, n, func(r *rng.Stream) float64 {
 		var lane [1]float64
 		dp.SampleLaneDelays(r, vdd, lane[:])
 		return lane[0]
@@ -559,8 +591,14 @@ func (dp *Datapath) LaneDelays(seed uint64, n int, vdd float64) []float64 {
 // PathDelays draws n independent single-critical-path samples, in
 // seconds.
 func (dp *Datapath) PathDelays(seed uint64, n int, vdd float64) []float64 {
+	ds, _ := dp.PathDelaysCtx(context.Background(), seed, n, vdd)
+	return ds
+}
+
+// PathDelaysCtx is PathDelays with cooperative cancellation.
+func (dp *Datapath) PathDelaysCtx(ctx context.Context, seed uint64, n int, vdd float64) ([]float64, error) {
 	dp.prepare(vdd)
-	return montecarlo.Sample(seed, n, func(r *rng.Stream) float64 {
+	return montecarlo.SampleCtx(ctx, seed, n, func(r *rng.Stream) float64 {
 		return dp.SamplePathDelay(r, vdd)
 	})
 }
@@ -570,8 +608,14 @@ func (dp *Datapath) PathDelays(seed uint64, n int, vdd float64) []float64 {
 // curve is smooth in alpha (no independent MC noise between points).
 // alphas must be non-decreasing ≥ 0.
 func (dp *Datapath) SpareCurve(seed uint64, n int, vdd float64, alphas []int) []float64 {
+	out, _ := dp.SpareCurveCtx(context.Background(), seed, n, vdd, alphas)
+	return out
+}
+
+// SpareCurveCtx is SpareCurve with cooperative cancellation.
+func (dp *Datapath) SpareCurveCtx(ctx context.Context, seed uint64, n int, vdd float64, alphas []int) ([]float64, error) {
 	if len(alphas) == 0 {
-		return nil
+		return nil, nil
 	}
 	maxA := alphas[len(alphas)-1]
 	for i := 1; i < len(alphas); i++ {
@@ -581,9 +625,12 @@ func (dp *Datapath) SpareCurve(seed uint64, n int, vdd float64, alphas []int) []
 	}
 	total := dp.Lanes + maxA
 	dp.prepare(vdd)
-	rows := montecarlo.SampleVec(seed, n, total, func(r *rng.Stream, dst []float64) {
+	rows, err := montecarlo.SampleVecCtx(ctx, seed, n, total, func(r *rng.Stream, dst []float64) {
 		dp.SampleLaneDelays(r, vdd, dst)
 	})
+	if err != nil {
+		return nil, err
+	}
 	fo4 := dp.FO4(vdd)
 	out := make([]float64, len(alphas))
 	delays := make([]float64, n)
@@ -601,7 +648,7 @@ func (dp *Datapath) SpareCurve(seed uint64, n int, vdd float64, alphas []int) []
 		sort.Float64s(delays)
 		out[ai] = quantileSorted(delays, 0.99)
 	}
-	return out
+	return out, nil
 }
 
 // quantileSorted mirrors stats.QuantileSorted for sorted ascending data;

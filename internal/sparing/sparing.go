@@ -5,6 +5,7 @@
 package sparing
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,6 +37,15 @@ func (s SearchResult) String() string {
 // lane-delay sample set throughout so the curve is monotone in α.
 // limit caps the search (the paper reports "> 128" beyond the SIMD width).
 func MinSpares(dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, limit int) SearchResult {
+	res, _ := MinSparesCtx(context.Background(), dp, seed, n, vdd, targetFO4, limit)
+	return res
+}
+
+// MinSparesCtx is MinSpares with cooperative cancellation: the spare-curve
+// evaluations poll ctx between Monte-Carlo worker chunks, and the search
+// returns ctx's error as soon as one observes cancellation. The result is
+// bit-identical to MinSpares when ctx is never cancelled.
+func MinSparesCtx(ctx context.Context, dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, limit int) (SearchResult, error) {
 	res := SearchResult{Target: targetFO4, Samples: n}
 	// Build the ladder of candidate spare counts: 0, 1, 2, 4, ..., limit.
 	var ladder []int
@@ -51,7 +61,10 @@ func MinSpares(dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, li
 	if ladder[len(ladder)-1] != limit {
 		ladder = append(ladder, limit)
 	}
-	curve := dp.SpareCurve(seed, n, vdd, ladder)
+	curve, err := dp.SpareCurveCtx(ctx, seed, n, vdd, ladder)
+	if err != nil {
+		return res, err
+	}
 
 	// Find the first ladder point meeting the target.
 	hitIdx := -1
@@ -64,13 +77,13 @@ func MinSpares(dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, li
 	if hitIdx == -1 {
 		res.Spares = limit + 1
 		res.P99 = curve[len(curve)-1]
-		return res
+		return res, nil
 	}
 	res.Found = true
 	if hitIdx == 0 {
 		res.Spares = ladder[0]
 		res.P99 = curve[0]
-		return res
+		return res, nil
 	}
 
 	// Bisect between the last failing and first passing ladder points.
@@ -78,7 +91,11 @@ func MinSpares(dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, li
 	p99hi := curve[hitIdx]
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		p99 := dp.SpareCurve(seed, n, vdd, []int{mid})[0]
+		point, err := dp.SpareCurveCtx(ctx, seed, n, vdd, []int{mid})
+		if err != nil {
+			return res, err
+		}
+		p99 := point[0]
 		if p99 <= targetFO4 {
 			hi, p99hi = mid, p99
 		} else {
@@ -87,7 +104,7 @@ func MinSpares(dp *simd.Datapath, seed uint64, n int, vdd, targetFO4 float64, li
 	}
 	res.Spares = hi
 	res.P99 = p99hi
-	return res
+	return res, nil
 }
 
 // Placement describes a spare-placement policy for repairability
