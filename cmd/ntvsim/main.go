@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ntvsim [-seed N] [-quick] [-list] [-o dir] [experiment ...]
+//	ntvsim [-seed N] [-quick] [-progress] [-list] [-o dir] [experiment ...]
 //
 // Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12
 // table1 table2 table3 table4 ks synctium, the extensions ablation
@@ -27,6 +27,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 0, "Monte-Carlo seed (0: paper default)")
 	quick := flag.Bool("quick", false, "reduced sample counts (fast, noisier)")
+	progress := flag.Bool("progress", false, "render a live per-experiment progress line on stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("o", "", "also write <id>.txt (and <id>.csv where available) into this directory")
 	flag.Parse()
@@ -59,7 +60,12 @@ func main() {
 	exitCode := 0
 	for _, id := range ids {
 		start := time.Now()
-		res, err := experiments.RunCtx(ctx, id, cfg)
+		runCtx, stop := ctx, func() {}
+		if *progress {
+			runCtx, stop = startProgress(ctx, id)
+		}
+		res, err := experiments.RunCtx(runCtx, id, cfg)
+		stop()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ntvsim: %s: %v\n", id, err)
 			exitCode = 1

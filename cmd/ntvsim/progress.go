@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/telemetry"
+)
+
+// progressRefresh is how often the -progress line redraws. Stderr is
+// line-buffered at human speed; anything under ~5 Hz reads as live.
+const progressRefresh = 150 * time.Millisecond
+
+// startProgress attaches a fresh reporter to ctx and renders it as a
+// single rewriting stderr line ("fig4  node/8x128  312000/1200000 26.0%")
+// until the returned stop function runs. stop clears the line so the
+// experiment's rendered output starts on a clean row.
+func startProgress(ctx context.Context, id string) (context.Context, func()) {
+	prog := telemetry.NewProgress()
+	ctx = telemetry.WithProgress(ctx, prog)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(progressRefresh)
+		defer ticker.Stop()
+		width := 0
+		for {
+			select {
+			case <-done:
+				// Clear the live line before the result prints over it.
+				fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", width))
+				return
+			case <-ticker.C:
+				snap := prog.Snapshot()
+				line := fmt.Sprintf("%s  %s  %d/%d %.1f%%",
+					id, snap.Phase, snap.Done, snap.Total, 100*snap.Fraction())
+				if pad := width - len(line); pad > 0 {
+					line += strings.Repeat(" ", pad)
+				} else {
+					width = len(line)
+				}
+				fmt.Fprintf(os.Stderr, "\r%s", line)
+			}
+		}
+	}()
+	return ctx, func() {
+		close(done)
+		<-finished
+	}
+}

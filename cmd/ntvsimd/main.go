@@ -1,20 +1,26 @@
 // Command ntvsimd serves the experiment registry of the DAC 2012
-// reproduction over HTTP as an asynchronous job API with result caching
-// and cancellation.
+// reproduction over HTTP as an asynchronous job API with result
+// caching, cancellation and full telemetry: per-job progress, SSE event
+// streams, span traces, and Prometheus metrics.
 //
 // Usage:
 //
 //	ntvsimd [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
+//	        [-log-format text|json] [-log-level debug|info|warn|error]
 //
-// Endpoints (see docs/API.md for request/response examples):
+// Endpoints (see docs/API.md and docs/OBSERVABILITY.md):
 //
-//	GET  /v1/experiments        list runnable experiment ids
-//	POST /v1/jobs               enqueue an experiment run
-//	GET  /v1/jobs               list jobs
-//	GET  /v1/jobs/{id}          job status and result
-//	POST /v1/jobs/{id}/cancel   cancel a queued or running job
-//	GET  /metrics               expvar metrics (jobs, cache, MC samples)
-//	GET  /healthz               liveness probe
+//	GET  /v1/experiments           list runnable experiment ids
+//	POST /v1/jobs                  enqueue an experiment run
+//	GET  /v1/jobs                  list jobs
+//	GET  /v1/jobs/{id}             job status and result
+//	GET  /v1/jobs/{id}/progress    live samples-done/samples-total and phase
+//	GET  /v1/jobs/{id}/events      SSE stream of progress/phase/done events
+//	POST /v1/jobs/{id}/cancel      cancel a queued or running job
+//	GET  /debug/trace/{id}         span tree of a job's run as JSON
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /metrics/expvar           legacy expvar JSON dump
+//	GET  /healthz                  liveness probe
 //
 // With -debug-addr set, net/http/pprof and /debug/vars are served on a
 // separate listener so profiling never shares the public port.
@@ -24,7 +30,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,31 +39,67 @@ import (
 	"time"
 )
 
+// newLogger builds the process logger from the -log-format/-log-level
+// flags; structured output goes to stderr.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text|json)", format)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address of the public API")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for pprof and /debug/vars (empty: disabled)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment jobs")
 	queue := flag.Int("queue", 64, "pending-job queue depth")
 	cacheSize := flag.Int("cache", 256, "max cached experiment results (0: unbounded)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
-	s := newServer(*workers, *queue, *cacheSize)
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntvsimd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	s := newServer(*workers, *queue, *cacheSize, logger)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.mux,
+		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	if *debugAddr != "" {
 		go func() {
-			log.Printf("ntvsimd: debug (pprof) on %s", *debugAddr)
+			logger.Info("debug listener starting", "addr", *debugAddr)
 			debugSrv := &http.Server{
 				Addr:              *debugAddr,
 				Handler:           debugMux(),
 				ReadHeaderTimeout: 10 * time.Second,
 			}
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("ntvsimd: debug listener: %v", err)
+				logger.Error("debug listener failed", "error", err.Error())
 			}
 		}()
 	}
@@ -65,16 +108,17 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Print("ntvsimd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("ntvsimd: serving on %s (%d workers, queue %d, cache %d)",
-		*addr, *workers, *queue, *cacheSize)
+	logger.Info("serving", "addr", *addr, "workers", *workers,
+		"queue", *queue, "cache", *cacheSize)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("ntvsimd: %v", err)
+		logger.Error("listener failed", "error", err.Error())
+		os.Exit(1)
 	}
 	s.close() // drain queued and running jobs before exiting
 }

@@ -6,19 +6,25 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
 	"github.com/ntvsim/ntvsim/internal/jobs"
 	"github.com/ntvsim/ntvsim/internal/montecarlo"
 	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
-// Service-wide expvar metrics, exposed verbatim at GET /metrics. They
-// are process-global (expvar names are a single namespace), so multiple
-// server instances — e.g. in tests — share and accumulate into them.
+// Service-wide expvar metrics, exposed verbatim at GET /metrics/expvar.
+// They are process-global (expvar names are a single namespace), so
+// multiple server instances — e.g. in tests — share and accumulate into
+// them.
 var (
 	evJobsStarted   = expvar.NewInt("ntvsimd_jobs_started")
 	evJobsCompleted = expvar.NewInt("ntvsimd_jobs_completed")
@@ -30,27 +36,120 @@ var (
 	evExpSeconds    = expvar.NewMap("ntvsimd_experiment_seconds")
 )
 
+// active points at the most recently constructed server; the
+// process-global gauges below (expvar and Prometheus names are single
+// namespaces) read live queue/cache state through it, so rebuilding the
+// server — tests do — transparently repoints them.
+var active atomic.Pointer[server]
+
+// expDurationBuckets spans HTTP-fast cache hits through multi-minute
+// full-depth experiment sweeps.
+var expDurationBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Prometheus metric families with static instruments (labelled series
+// created on first use). Gauges reading per-server state are registered
+// in init below.
+var (
+	promExpRuns = telemetry.Default.CounterVec("ntvsimd_experiment_runs_total",
+		"Completed experiment runs by experiment id.", "experiment")
+	promExpDuration = telemetry.Default.HistogramVec("ntvsimd_experiment_duration_seconds",
+		"Wall-clock duration of completed experiment runs.", expDurationBuckets, "experiment")
+	promHTTPRequests = telemetry.Default.CounterVec("ntvsimd_http_requests_total",
+		"HTTP requests served, by method and status code.", "method", "code")
+	promHTTPDuration = telemetry.Default.Histogram("ntvsimd_http_request_duration_seconds",
+		"HTTP request latency.", telemetry.DefBuckets)
+)
+
 func init() {
 	// Gauge for the shared Monte-Carlo engine: total sample evaluations
-	// across every experiment run in this process.
+	// across every experiment run in this process. (The Prometheus twin,
+	// ntvsim_mc_samples_evaluated_total, is registered by montecarlo.)
 	expvar.Publish("ntvsimd_mc_samples_evaluated", expvar.Func(func() any {
 		return montecarlo.SamplesEvaluated()
 	}))
+	expvar.Publish("ntvsimd_jobs_queue_depth", expvar.Func(func() any {
+		if s := active.Load(); s != nil {
+			return s.jobs.QueueDepth()
+		}
+		return 0
+	}))
+	expvar.Publish("ntvsimd_jobs_running", expvar.Func(func() any {
+		if s := active.Load(); s != nil {
+			return s.jobs.Running()
+		}
+		return 0
+	}))
+	expvar.Publish("ntvsimd_cache_evictions", expvar.Func(func() any {
+		if s := active.Load(); s != nil {
+			return s.cache.Evictions()
+		}
+		return 0
+	}))
+
+	gauge := func(name, help string, fn func(s *server) float64) {
+		telemetry.Default.GaugeFunc(name, help, func() float64 {
+			if s := active.Load(); s != nil {
+				return fn(s)
+			}
+			return 0
+		})
+	}
+	counter := func(name, help string, fn func(s *server) float64) {
+		telemetry.Default.CounterFunc(name, help, func() float64 {
+			if s := active.Load(); s != nil {
+				return fn(s)
+			}
+			return 0
+		})
+	}
+	gauge("ntvsimd_jobs_queue_depth", "Submitted jobs waiting for a worker.",
+		func(s *server) float64 { return float64(s.jobs.QueueDepth()) })
+	gauge("ntvsimd_jobs_running", "Jobs currently executing (busy workers).",
+		func(s *server) float64 { return float64(s.jobs.Running()) })
+	gauge("ntvsimd_jobs_workers", "Size of the experiment worker pool.",
+		func(s *server) float64 { return float64(s.workers) })
+	counter("ntvsimd_jobs_started_total", "Jobs that left the queue and started executing.",
+		func(s *server) float64 { return float64(s.jobs.Counters().Started) })
+	counter("ntvsimd_jobs_completed_total", "Jobs that finished successfully.",
+		func(s *server) float64 { return float64(s.jobs.Counters().Completed) })
+	counter("ntvsimd_jobs_failed_total", "Jobs that finished with an error.",
+		func(s *server) float64 { return float64(s.jobs.Counters().Failed) })
+	counter("ntvsimd_jobs_cancelled_total", "Jobs cancelled while queued or running.",
+		func(s *server) float64 { return float64(s.jobs.Counters().Cancelled) })
+	counter("ntvsimd_cache_hits_total", "Result-cache lookups served without recomputation.",
+		func(s *server) float64 { h, _ := s.cache.Stats(); return float64(h) })
+	counter("ntvsimd_cache_misses_total", "Result-cache lookups that required a run.",
+		func(s *server) float64 { _, m := s.cache.Stats(); return float64(m) })
+	counter("ntvsimd_cache_evictions_total", "Result-cache entries pushed out by the LRU bound.",
+		func(s *server) float64 { return float64(s.cache.Evictions()) })
+	gauge("ntvsimd_cache_hit_ratio", "hits/(hits+misses) of the result cache since start.",
+		func(s *server) float64 { return s.cache.HitRatio() })
+	gauge("ntvsimd_cache_entries", "Entries currently held by the result cache.",
+		func(s *server) float64 { return float64(s.cache.Len()) })
 }
 
-// server wires the experiments registry, the job manager and the result
-// cache behind an HTTP mux.
+// server wires the experiments registry, the job manager, the result
+// cache and the trace buffer behind an HTTP mux.
 type server struct {
-	jobs  *jobs.Manager
-	cache *resultcache.Cache[experiments.Result]
-	mux   *http.ServeMux
+	jobs    *jobs.Manager
+	cache   *resultcache.Cache[experiments.Result]
+	traces  *telemetry.TraceStore
+	log     *slog.Logger
+	workers int
+	mux     *http.ServeMux
 }
 
-func newServer(workers, queueDepth, cacheSize int) *server {
+func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &server{
-		jobs:  jobs.NewManager(workers, queueDepth),
-		cache: resultcache.New[experiments.Result](cacheSize),
-		mux:   http.NewServeMux(),
+		jobs:    jobs.NewManager(workers, queueDepth),
+		cache:   resultcache.New[experiments.Result](cacheSize),
+		traces:  telemetry.NewTraceStore(256),
+		log:     logger,
+		workers: workers,
+		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -58,12 +157,62 @@ func newServer(workers, queueDepth, cacheSize int) *server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /metrics/expvar", expvar.Handler())
+	active.Store(s)
 	return s
 }
 
 // close drains the worker pool; used by main on shutdown and by tests.
 func (s *server) close() { s.jobs.Close() }
+
+// handler wraps the route mux with structured request logging and the
+// HTTP request metrics.
+func (s *server) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		promHTTPRequests.With(r.Method, strconv.Itoa(rec.status)).Inc()
+		promHTTPDuration.Observe(elapsed.Seconds())
+		s.log.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"remote", r.RemoteAddr)
+	})
+}
+
+// statusRecorder captures the response status for logging and metrics
+// while passing Flush through so SSE streaming keeps working.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format. The legacy expvar JSON dump stays available at
+// /metrics/expvar (and /debug/vars on the debug listener).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.Default.WritePrometheus(w)
+}
 
 // debugMux serves net/http/pprof and the raw expvar dump on a separate
 // listener so profiling endpoints never share a port with the public
@@ -102,17 +251,41 @@ type resultPayload struct {
 	Data   any    `json:"data,omitempty"` // structured payload when the result implements JSONer
 }
 
+// progressPayload is the wire form of a job's live progress
+// (GET /v1/jobs/{id}/progress and the SSE progress events).
+type progressPayload struct {
+	ID       string     `json:"id,omitempty"`
+	State    jobs.State `json:"state"`
+	Done     int64      `json:"done"`
+	Total    int64      `json:"total"`
+	Fraction float64    `json:"fraction"`
+	Phase    string     `json:"phase,omitempty"`
+}
+
+func progressOf(snap jobs.Snapshot) progressPayload {
+	p := snap.Progress
+	return progressPayload{
+		ID:       snap.ID,
+		State:    snap.State,
+		Done:     p.Done,
+		Total:    p.Total,
+		Fraction: p.Fraction(),
+		Phase:    p.Phase,
+	}
+}
+
 // jobPayload is the wire form of a job (POST and GET responses).
 type jobPayload struct {
-	ID         string         `json:"id,omitempty"`
-	Experiment string         `json:"experiment"`
-	State      jobs.State     `json:"state"`
-	Cached     bool           `json:"cached"`
-	Error      string         `json:"error,omitempty"`
-	CreatedAt  *time.Time     `json:"created_at,omitempty"`
-	StartedAt  *time.Time     `json:"started_at,omitempty"`
-	FinishedAt *time.Time     `json:"finished_at,omitempty"`
-	Result     *resultPayload `json:"result,omitempty"`
+	ID         string           `json:"id,omitempty"`
+	Experiment string           `json:"experiment"`
+	State      jobs.State       `json:"state"`
+	Cached     bool             `json:"cached"`
+	Error      string           `json:"error,omitempty"`
+	CreatedAt  *time.Time       `json:"created_at,omitempty"`
+	StartedAt  *time.Time       `json:"started_at,omitempty"`
+	FinishedAt *time.Time       `json:"finished_at,omitempty"`
+	Progress   *progressPayload `json:"progress,omitempty"`
+	Result     *resultPayload   `json:"result,omitempty"`
 }
 
 func renderResult(res experiments.Result) *resultPayload {
@@ -138,6 +311,11 @@ func snapshotPayload(s jobs.Snapshot) jobPayload {
 			t := ts.t
 			*ts.dst = &t
 		}
+	}
+	if s.State == jobs.Running || s.Progress.Total > 0 {
+		prog := progressOf(s)
+		prog.ID = "" // redundant inside the job payload
+		p.Progress = &prog
 	}
 	if res, ok := s.Value.(experiments.Result); ok && s.State == jobs.Done {
 		p.Result = renderResult(res)
@@ -182,6 +360,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := resultcache.Key(jobKey{ID: req.Experiment, Config: cfg})
 	if res, ok := s.cache.Get(key); ok {
 		evCacheHits.Add(1)
+		s.log.Info("job served from cache", "experiment", req.Experiment)
 		writeJSON(w, http.StatusOK, jobPayload{
 			Experiment: req.Experiment,
 			State:      jobs.Done,
@@ -198,10 +377,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrClosed) {
 			status = http.StatusServiceUnavailable
 		}
+		s.log.Warn("job submit rejected", "experiment", req.Experiment, "error", err.Error())
 		writeError(w, status, err)
 		return
 	}
 	evJobsStarted.Add(1)
+	s.log.Info("job submitted", "job", id, "experiment", req.Experiment,
+		"queue_depth", s.jobs.QueueDepth())
 	writeJSON(w, http.StatusAccepted, jobPayload{
 		ID:         id,
 		Experiment: req.Experiment,
@@ -210,23 +392,32 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob builds the worker-pool closure for one experiment run: execute
-// under the job's context, record per-experiment latency, and populate
-// the result cache on success.
+// under the job's context with a fresh trace, record per-experiment
+// latency, and populate the result cache on success.
 func (s *server) runJob(expID string, cfg experiments.Config, key string) jobs.Func {
 	return func(ctx context.Context) (any, error) {
+		jobID := jobs.ContextID(ctx)
+		ctx, trace := s.traces.Start(ctx, jobID)
 		start := time.Now()
 		res, err := experiments.RunCtx(ctx, expID, cfg)
+		trace.Finish()
 		elapsed := time.Since(start).Seconds()
+		logArgs := []any{"job", jobID, "experiment", expID, "seconds", elapsed}
 		switch {
 		case ctx.Err() != nil:
 			evJobsCancelled.Add(1)
+			s.log.Info("job cancelled", logArgs...)
 		case err != nil:
 			evJobsFailed.Add(1)
+			s.log.Warn("job failed", append(logArgs, "error", err.Error())...)
 		default:
 			evJobsCompleted.Add(1)
 			evExpRuns.Add(expID, 1)
 			evExpSeconds.AddFloat(expID, elapsed)
+			promExpRuns.With(expID).Inc()
+			promExpDuration.With(expID).Observe(elapsed)
 			s.cache.Put(key, res)
+			s.log.Info("job done", logArgs...)
 		}
 		if err != nil {
 			return nil, err
@@ -255,6 +446,30 @@ func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snapshotPayload(snap))
 }
 
+// handleProgress serves the live samples-done/samples-total and phase
+// of one job.
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, progressOf(snap))
+}
+
+// handleTrace dumps the span tree recorded for one job. Traces of
+// running jobs report in-progress spans with their duration so far.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	trace, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			errors.New("no trace for this job id (traces exist once a job starts running)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, trace.Snapshot())
+}
+
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.jobs.Get(id); !ok {
@@ -267,6 +482,7 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("job already %s", snap.State))
 		return
 	}
+	s.log.Info("job cancel requested", "job", id, "was", string(was))
 	if was == jobs.Queued {
 		// A running job's cancellation is counted when its runJob closure
 		// observes ctx and finalizes; a queued job never runs, so count it

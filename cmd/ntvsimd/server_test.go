@@ -12,8 +12,8 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(2, 16, 32)
-	ts := httptest.NewServer(s.mux)
+	s := newServer(2, 16, 32, nil)
+	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
 		s.close()
@@ -64,9 +64,10 @@ func pollDone(t *testing.T, base, id string, timeout time.Duration) map[string]a
 	return nil
 }
 
+// metric reads one scalar from the legacy expvar dump.
 func metric(t *testing.T, base, name string) float64 {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics/expvar")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,8 +278,8 @@ func TestDebugMux(t *testing.T) {
 // TestQueueFullMapsTo503 fills a tiny pool with long jobs and expects
 // the next submission to be rejected with 503.
 func TestQueueFullMapsTo503(t *testing.T) {
-	s := newServer(1, 1, 8)
-	ts := httptest.NewServer(s.mux)
+	s := newServer(1, 1, 8, nil)
+	ts := httptest.NewServer(s.handler())
 	defer func() {
 		ts.Close()
 		s.close()

@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
 // Config controls an experiment run.
@@ -108,6 +110,11 @@ func Run(id string, cfg Config) (Result, error) {
 // cancelled before or during the run aborts the experiment's
 // Monte-Carlo sampling and returns the context's error; an uncancelled
 // ctx yields results bit-identical to Run.
+//
+// When ctx carries telemetry — a trace (see telemetry.TraceStore) or a
+// progress reporter — the run records an "experiment/<id>" span and the
+// instrumented runners report per-phase spans and sample progress. An
+// uninstrumented ctx adds nothing.
 func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
 	r, ok := registry[id]
 	if !ok {
@@ -120,5 +127,18 @@ func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "experiment/"+id)
+	defer sp.End()
 	return r(ctx, cfg)
+}
+
+// phase starts a named phase of an experiment run: it labels the run's
+// progress reporter (surfaced by job snapshots and SSE events) and
+// opens a telemetry span nested under the run's trace. Call the
+// returned done func when the phase completes. Both effects are no-ops
+// on an uninstrumented context.
+func phase(ctx context.Context, name string) (context.Context, func()) {
+	telemetry.ProgressFrom(ctx).SetPhase(name)
+	ctx, sp := telemetry.StartSpan(ctx, name)
+	return ctx, sp.End
 }

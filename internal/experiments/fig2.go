@@ -73,19 +73,22 @@ func fig2Grid(n tech.Node) []float64 {
 func runFig2(ctx context.Context, cfg Config) (Result, error) {
 	res := &Fig2Result{Samples: cfg.CircuitSamples}
 	for ni, node := range tech.Nodes() {
+		nodeCtx, done := phase(ctx, "node/"+node.Name)
 		sampler := variation.NewSampler(node.Dev, node.Var)
 		s := Fig2Series{Node: node}
 		for _, vdd := range fig2Grid(node) {
-			chain, err := montecarlo.SampleCtx(ctx, cfg.Seed+uint64(ni*1000)+uint64(vdd*100), cfg.CircuitSamples,
+			chain, err := montecarlo.SampleCtx(nodeCtx, cfg.Seed+uint64(ni*1000)+uint64(vdd*100), cfg.CircuitSamples,
 				func(r *rng.Stream) float64 {
 					return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
 				})
 			if err != nil {
+				done()
 				return nil, err
 			}
 			s.Vdd = append(s.Vdd, vdd)
 			s.ThreeSig = append(s.ThreeSig, stats.ThreeSigmaOverMu(chain))
 		}
+		done()
 		res.Series = append(res.Series, s)
 	}
 	return res, nil

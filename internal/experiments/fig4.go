@@ -73,20 +73,24 @@ func (s Fig4Series) Drop(vdd float64) float64 {
 func runFig4(ctx context.Context, cfg Config) (Result, error) {
 	res := &Fig4Result{Samples: cfg.ChipSamples}
 	for ni, node := range tech.Nodes() {
+		nodeCtx, done := phase(ctx, "node/"+node.Name)
 		dp := simd.New(node)
-		base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed+uint64(ni)*97, cfg.ChipSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(nodeCtx, cfg.Seed+uint64(ni)*97, cfg.ChipSamples, node.VddNominal, 0)
 		if err != nil {
+			done()
 			return nil, err
 		}
 		s := Fig4Series{Node: node, Baseline: base}
 		for _, vdd := range fig2Grid(node) {
-			p99, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed+uint64(ni)*97, cfg.ChipSamples, vdd, 0)
+			p99, err := dp.P99ChipDelayFO4Ctx(nodeCtx, cfg.Seed+uint64(ni)*97, cfg.ChipSamples, vdd, 0)
 			if err != nil {
+				done()
 				return nil, err
 			}
 			s.Vdd = append(s.Vdd, vdd)
 			s.DropPct = append(s.DropPct, 100*(p99/base-1))
 		}
+		done()
 		res.Series = append(res.Series, s)
 	}
 	return res, nil

@@ -74,31 +74,41 @@ func runFig6(ctx context.Context, cfg Config) (Result, error) {
 	dp := simd.New(node)
 	res := &Fig6Result{Node: node, Samples: cfg.ChipSamples}
 
-	base, err := dp.P99ChipDelayFO4Ctx(ctx, cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	baseCtx, done := phase(ctx, "baseline")
+	base, err := dp.P99ChipDelayFO4Ctx(baseCtx, cfg.Seed, cfg.ChipSamples, node.VddNominal, 0)
+	done()
 	if err != nil {
 		return nil, err
 	}
 	res.Target = margin.TargetDelay(dp, vdd, base)
 
+	sweepCtx, done := phase(ctx, "voltage-sweep")
 	for _, v := range []float64{0.600, 0.605, 0.610, 0.615, 0.620} {
-		ds, err := dp.ChipDelaysCtx(ctx, cfg.Seed+19, cfg.ChipSamples, v, 0)
+		ds, err := dp.ChipDelaysCtx(sweepCtx, cfg.Seed+19, cfg.ChipSamples, v, 0)
 		if err != nil {
+			done()
 			return nil, err
 		}
 		res.Voltages = append(res.Voltages, v)
 		res.VoltP99 = append(res.VoltP99, stats.Quantile(ds, 0.99))
 		res.VoltHists = append(res.VoltHists, histShape(ds, 24))
 	}
+	done()
+	spareCtx, done := phase(ctx, "spare-sweep")
 	for _, a := range []int{0, 4, 8, 16, 32} {
-		ds, err := dp.ChipDelaysCtx(ctx, cfg.Seed+19, cfg.ChipSamples, vdd, a)
+		ds, err := dp.ChipDelaysCtx(spareCtx, cfg.Seed+19, cfg.ChipSamples, vdd, a)
 		if err != nil {
+			done()
 			return nil, err
 		}
 		res.Spares = append(res.Spares, a)
 		res.SpareP99 = append(res.SpareP99, stats.Quantile(ds, 0.99))
 		res.SpareHists = append(res.SpareHists, histShape(ds, 24))
 	}
-	vr, err := margin.VoltageMarginCtx(ctx, dp, cfg.Seed+19, cfg.SearchSamples, vdd, res.Target, 0.1e-3, 0)
+	done()
+	searchCtx, done := phase(ctx, "margin-search")
+	vr, err := margin.VoltageMarginCtx(searchCtx, dp, cfg.Seed+19, cfg.SearchSamples, vdd, res.Target, 0.1e-3, 0)
+	done()
 	if err != nil {
 		return nil, err
 	}

@@ -83,15 +83,18 @@ func runTable1(ctx context.Context, cfg Config) (Result, error) {
 	const limit = 128
 	res := &Table1Result{Samples: cfg.SearchSamples, Limit: limit}
 	for ni, node := range tech.Nodes() {
+		nodeCtx, done := phase(ctx, "node/"+node.Name)
 		dp := simd.New(node)
 		seed := cfg.Seed + uint64(ni)*1313
-		base, err := dp.P99ChipDelayFO4Ctx(ctx, seed, cfg.SearchSamples, node.VddNominal, 0)
+		base, err := dp.P99ChipDelayFO4Ctx(nodeCtx, seed, cfg.SearchSamples, node.VddNominal, 0)
 		if err != nil {
+			done()
 			return nil, err
 		}
 		for _, vdd := range table1Voltages {
-			sr, err := sparing.MinSparesCtx(ctx, dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, base, limit)
+			sr, err := sparing.MinSparesCtx(nodeCtx, dp, seed+uint64(vdd*1000), cfg.SearchSamples, vdd, base, limit)
 			if err != nil {
+				done()
 				return nil, err
 			}
 			cell := Table1Cell{Node: node.Name, Vdd: vdd, Search: sr}
@@ -101,6 +104,7 @@ func runTable1(ctx context.Context, cfg Config) (Result, error) {
 			}
 			res.Cells = append(res.Cells, cell)
 		}
+		done()
 	}
 	return res, nil
 }

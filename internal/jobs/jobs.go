@@ -12,6 +12,12 @@
 // The package is deliberately generic — a job is any
 // func(context.Context) (any, error) — so it stays decoupled from the
 // experiments registry and is reusable for other asynchronous work.
+//
+// Every job's context carries a telemetry.Progress reporter and the
+// job's id (ContextID). Work running under the job — the Monte-Carlo
+// loops, via experiments — ticks the reporter, and Snapshot returns the
+// current samples-done/samples-total and phase label, which the HTTP
+// layer serves as /v1/jobs/{id}/progress and streams over SSE.
 package jobs
 
 import (
@@ -21,6 +27,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
 // State is a job's lifecycle state.
@@ -59,20 +67,25 @@ type Snapshot struct {
 	Created  time.Time
 	Started  time.Time // zero until the job leaves the queue
 	Finished time.Time // zero until the job reaches a terminal state
+
+	// Progress is the job's live samples-done/samples-total and phase,
+	// ticked by the work running under the job's context.
+	Progress telemetry.ProgressSnapshot
 }
 
 type job struct {
-	id      string
-	name    string
-	fn      Func
-	ctx     context.Context
-	cancel  context.CancelFunc
-	state   State
-	value   any
-	err     string
-	created time.Time
-	started time.Time
-	done    time.Time
+	id       string
+	name     string
+	fn       Func
+	ctx      context.Context
+	cancel   context.CancelFunc
+	state    State
+	value    any
+	err      string
+	created  time.Time
+	started  time.Time
+	done     time.Time
+	progress *telemetry.Progress
 }
 
 // Counters is the manager's cumulative event tally for metrics.
@@ -118,14 +131,19 @@ func NewManager(workers, queueDepth int) *Manager {
 // job's id. It fails fast with ErrQueueFull when the queue is at
 // capacity and ErrClosed after Close.
 func (m *Manager) Submit(name string, fn Func) (string, error) {
+	id := newID()
+	progress := telemetry.NewProgress()
 	ctx, cancel := context.WithCancel(context.Background())
+	ctx = telemetry.WithProgress(ctx, progress)
+	ctx = context.WithValue(ctx, idKey{}, id)
 	j := &job{
-		id:     newID(),
-		name:   name,
-		fn:     fn,
-		ctx:    ctx,
-		cancel: cancel,
-		state:  Queued,
+		id:       id,
+		name:     name,
+		fn:       fn,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    Queued,
+		progress: progress,
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -204,7 +222,8 @@ func (m *Manager) Counters() Counters {
 	return m.counters
 }
 
-// Running returns the number of jobs currently executing.
+// Running returns the number of jobs currently executing — i.e. the
+// number of busy workers.
 func (m *Manager) Running() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -215,6 +234,19 @@ func (m *Manager) Running() int {
 		}
 	}
 	return n
+}
+
+// QueueDepth returns the number of submitted jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// idKey carries the job id in the job's context.
+type idKey struct{}
+
+// ContextID returns the id of the job whose context ctx is (or derives
+// from), or "" when ctx does not belong to a job.
+func ContextID(ctx context.Context) string {
+	id, _ := ctx.Value(idKey{}).(string)
+	return id
 }
 
 // Close stops accepting submissions, waits for queued and running jobs
@@ -283,6 +315,7 @@ func (j *job) snapshot() Snapshot {
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.done,
+		Progress: j.progress.Snapshot(),
 	}
 }
 

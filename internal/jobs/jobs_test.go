@@ -9,6 +9,7 @@ import (
 
 	"github.com/ntvsim/ntvsim/internal/montecarlo"
 	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
 // waitState polls until the job reaches a terminal state or the deadline
@@ -232,5 +233,104 @@ func TestSubmitAfterClose(t *testing.T) {
 	m.Close()
 	if _, err := m.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestJobProgressSnapshot submits a job that ticks its context's
+// progress reporter the way the Monte-Carlo loops do and checks that
+// Manager snapshots expose live and final progress with the job id
+// available via ContextID.
+func TestJobProgressSnapshot(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Close()
+
+	mid := make(chan struct{})
+	release := make(chan struct{})
+	var ctxID atomic.Value
+	id, err := m.Submit("prog", func(ctx context.Context) (any, error) {
+		ctxID.Store(ContextID(ctx))
+		p := telemetry.ProgressFrom(ctx)
+		if p == nil {
+			return nil, errors.New("no progress reporter in job context")
+		}
+		p.AddTotal(100)
+		p.SetPhase("first-half")
+		p.Add(50)
+		close(mid)
+		<-release
+		p.SetPhase("second-half")
+		p.Add(50)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	<-mid
+	s, ok := m.Get(id)
+	if !ok {
+		t.Fatal("job missing")
+	}
+	if s.Progress.Done != 50 || s.Progress.Total != 100 || s.Progress.Phase != "first-half" {
+		t.Errorf("mid-run progress = %+v", s.Progress)
+	}
+	close(release)
+	final := waitState(t, m, id, 5*time.Second)
+	if final.Progress.Done != 100 || final.Progress.Total != 100 || final.Progress.Phase != "second-half" {
+		t.Errorf("final progress = %+v", final.Progress)
+	}
+	if got := ctxID.Load(); got != id {
+		t.Errorf("ContextID inside job = %v, want %s", got, id)
+	}
+}
+
+func TestContextIDOutsideJob(t *testing.T) {
+	if id := ContextID(context.Background()); id != "" {
+		t.Errorf("ContextID on plain context = %q, want empty", id)
+	}
+}
+
+// TestQueueDepthGauge fills a single-worker manager and watches the
+// queue-depth gauge rise and drain.
+func TestQueueDepthGauge(t *testing.T) {
+	m := NewManager(1, 8)
+	defer m.Close()
+	if d := m.QueueDepth(); d != 0 {
+		t.Fatalf("initial queue depth = %d", d)
+	}
+	gate := make(chan struct{})
+	blocker := func(ctx context.Context) (any, error) { <-gate; return nil, nil }
+	first, err := m.Submit("block", blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked the first job up.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s, _ := m.Get(first); s.State == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var waiting []string
+	for i := 0; i < 3; i++ {
+		id, err := m.Submit("wait", blocker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waiting = append(waiting, id)
+	}
+	if d := m.QueueDepth(); d != 3 {
+		t.Errorf("queue depth = %d with 3 jobs waiting", d)
+	}
+	close(gate)
+	for _, id := range append([]string{first}, waiting...) {
+		waitState(t, m, id, 5*time.Second)
+	}
+	if d := m.QueueDepth(); d != 0 {
+		t.Errorf("queue depth = %d after drain", d)
 	}
 }

@@ -12,6 +12,13 @@
 // bit-identical to the context-free variants. The package also keeps a
 // process-wide count of evaluated samples (SamplesEvaluated) for service
 // metrics.
+//
+// When the context carries a telemetry.Progress reporter, each Ctx
+// entry point announces its sample count on entry and every worker
+// ticks the reporter once per checkEvery-sample chunk, so callers can
+// watch samples-done/samples-total while a sweep runs. Without a
+// reporter the loops are unchanged — the reporter pointer is nil and
+// every tick is a nil-receiver no-op.
 package montecarlo
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"github.com/ntvsim/ntvsim/internal/rng"
 	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
 // checkEvery is the cancellation-poll granularity: each worker checks
@@ -37,6 +45,12 @@ var samplesEvaluated atomic.Uint64
 // evaluations completed since startup.
 func SamplesEvaluated() uint64 { return samplesEvaluated.Load() }
 
+func init() {
+	telemetry.Default.CounterFunc("ntvsim_mc_samples_evaluated_total",
+		"Monte-Carlo sample evaluations completed since process start.",
+		func() float64 { return float64(samplesEvaluated.Load()) })
+}
+
 // Sample evaluates fn for n independent sample indices and returns the
 // values in index order. Each invocation receives a PRNG stream derived
 // from (seed, index).
@@ -51,7 +65,9 @@ func Sample(seed uint64, n int, fn func(r *rng.Stream) float64) []float64 {
 // is bit-identical to Sample with the same arguments.
 func SampleCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) float64) ([]float64, error) {
 	out := make([]float64, n)
-	if err := parallelFor(ctx, n, func(i int) {
+	prog := telemetry.ProgressFrom(ctx)
+	prog.AddTotal(int64(n))
+	if err := parallelFor(ctx, prog, n, func(i int) {
 		out[i] = fn(rng.NewSub(seed, i))
 	}); err != nil {
 		return nil, err
@@ -71,7 +87,9 @@ func SampleVec(seed uint64, n, width int, fn func(r *rng.Stream, dst []float64))
 // same bit-identical-when-uncancelled contract as SampleCtx.
 func SampleVecCtx(ctx context.Context, seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) ([][]float64, error) {
 	out := make([][]float64, n)
-	if err := parallelFor(ctx, n, func(i int) {
+	prog := telemetry.ProgressFrom(ctx)
+	prog.AddTotal(int64(n))
+	if err := parallelFor(ctx, prog, n, func(i int) {
 		row := make([]float64, width)
 		fn(rng.NewSub(seed, i), row)
 		out[i] = row
@@ -92,6 +110,8 @@ func Moments(seed uint64, n int, fn func(r *rng.Stream) float64) stats.Stream {
 // MomentsCtx is Moments with cooperative cancellation, under the same
 // bit-identical-when-uncancelled contract as SampleCtx.
 func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) float64) (stats.Stream, error) {
+	prog := telemetry.ProgressFrom(ctx)
+	prog.AddTotal(int64(n))
 	workers := workerCount(n)
 	partial := make([]stats.Stream, workers)
 	errs := make([]error, workers)
@@ -101,7 +121,7 @@ func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = runSpan(ctx, lo, hi, func(i int) {
+			errs[w] = runSpan(ctx, prog, lo, hi, func(i int) {
 				partial[w].Add(fn(rng.NewSub(seed, i)))
 			})
 		}(w, lo, hi)
@@ -121,10 +141,10 @@ func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) 
 
 // parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers,
 // returning ctx's error if cancellation is observed before completion.
-func parallelFor(ctx context.Context, n int, body func(i int)) error {
+func parallelFor(ctx context.Context, prog *telemetry.Progress, n int, body func(i int)) error {
 	workers := workerCount(n)
 	if workers <= 1 {
-		return runSpan(ctx, 0, n, body)
+		return runSpan(ctx, prog, 0, n, body)
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -133,7 +153,7 @@ func parallelFor(ctx context.Context, n int, body func(i int)) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = runSpan(ctx, lo, hi, body)
+			errs[w] = runSpan(ctx, prog, lo, hi, body)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -145,19 +165,29 @@ func parallelFor(ctx context.Context, n int, body func(i int)) error {
 	return nil
 }
 
-// runSpan executes body over [lo, hi) in index order, polling ctx once
-// per checkEvery iterations and crediting completed evaluations to the
-// process-wide sample counter.
-func runSpan(ctx context.Context, lo, hi int, body func(i int)) error {
+// runSpan executes body over [lo, hi) in index order, polling ctx and
+// ticking the progress reporter once per checkEvery iterations, and
+// crediting completed evaluations to the process-wide sample counter.
+// A nil prog costs one pointer comparison per chunk.
+func runSpan(ctx context.Context, prog *telemetry.Progress, lo, hi int, body func(i int)) error {
 	done := ctx.Done()
-	evaluated := 0
-	defer func() { samplesEvaluated.Add(uint64(evaluated)) }()
+	evaluated, reported := 0, 0
+	defer func() {
+		samplesEvaluated.Add(uint64(evaluated))
+		prog.Add(int64(evaluated - reported))
+	}()
 	for i := lo; i < hi; i++ {
-		if done != nil && evaluated%checkEvery == 0 {
-			select {
-			case <-done:
-				return ctx.Err()
-			default:
+		if evaluated%checkEvery == 0 {
+			if prog != nil && evaluated > reported {
+				prog.Add(int64(evaluated - reported))
+				reported = evaluated
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
 			}
 		}
 		body(i)

@@ -43,8 +43,9 @@ type Cache[V any] struct {
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type entry[V any] struct {
@@ -94,6 +95,7 @@ func (c *Cache[V]) Put(key string, val V) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry[V]).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -107,4 +109,17 @@ func (c *Cache[V]) Len() int {
 // Stats returns the cumulative hit and miss counts.
 func (c *Cache[V]) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns how many entries the LRU bound has pushed out.
+func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup — the
+// cache-effectiveness gauge surfaced on /metrics.
+func (c *Cache[V]) HitRatio() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
 }

@@ -22,6 +22,15 @@ func TestHitMiss(t *testing.T) {
 	if hits != 1 || misses != 1 {
 		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
 	}
+	if r := c.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	if r := New[int](1).HitRatio(); r != 0 {
+		t.Errorf("hit ratio of untouched cache = %v, want 0", r)
+	}
 }
 
 func TestLRUEviction(t *testing.T) {
@@ -38,6 +47,9 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if ev := c.Evictions(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
 	}
 }
 

@@ -1,0 +1,35 @@
+// Package telemetry is the stdlib-only observability layer shared by
+// the CLI and the HTTP daemon: Prometheus-format metrics, lightweight
+// hierarchical spans with an in-memory trace buffer, and a lock-free
+// progress reporter threaded through context into the Monte-Carlo
+// sampling loops.
+//
+// # Metrics
+//
+// A Registry holds named metric families — counters, gauges and
+// histograms, optionally labelled — and renders them in the Prometheus
+// text exposition format (version 0.0.4) via WritePrometheus. The
+// package-level Default registry is what GET /metrics serves.
+// Registration is idempotent: asking for an already-registered family
+// with the same type returns the existing one, so package init
+// functions and repeated server construction (tests) never panic on
+// duplicates.
+//
+// # Spans
+//
+// StartSpan(ctx, name) opens a child of the span carried by ctx and
+// returns a derived context carrying the new span. When ctx carries no
+// span — no trace was started — StartSpan is a no-op returning a nil
+// *Span whose End is safe to call, so instrumented code needs no
+// conditionals. A TraceStore starts traces (one per job), bounds how
+// many finished traces are retained, and hands back snapshots of the
+// span tree for the /debug/trace/{id} endpoint.
+//
+// # Progress
+//
+// A Progress reporter counts samples done against a self-announced
+// total and carries a free-form phase label. All methods are nil-safe:
+// montecarlo's sampling loops tick the reporter unconditionally, and
+// when no reporter rides the context the ticks vanish into nil-receiver
+// no-ops, keeping the uninstrumented fast path at zero cost.
+package telemetry

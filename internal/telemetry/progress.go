@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Progress counts work done against a self-announced total and carries
+// a free-form phase label. Producers (the Monte-Carlo loops) tick it
+// from many goroutines; consumers (job snapshots, SSE streams, the CLI
+// progress line) read consistent point-in-time snapshots.
+//
+// All methods are safe on a nil receiver and do nothing, so
+// instrumented code ticks unconditionally and pays nothing when no
+// reporter rides the context.
+type Progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+	phase atomic.Pointer[string]
+}
+
+// NewProgress returns an empty reporter.
+func NewProgress() *Progress { return &Progress{} }
+
+// Add credits n completed work units.
+func (p *Progress) Add(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.done.Add(n)
+}
+
+// AddTotal announces n additional expected work units. Each montecarlo
+// entry point announces its sample count on entry, so the total grows
+// as an experiment discovers work; Fraction stays meaningful throughout
+// as "share of the work announced so far".
+func (p *Progress) AddTotal(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.total.Add(n)
+}
+
+// SetPhase labels the current phase of the run (e.g. "voltage-sweep").
+func (p *Progress) SetPhase(s string) {
+	if p == nil {
+		return
+	}
+	p.phase.Store(&s)
+}
+
+// Snapshot returns the current counters. Safe on nil (zero snapshot).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	var phase string
+	if s := p.phase.Load(); s != nil {
+		phase = *s
+	}
+	return ProgressSnapshot{
+		Done:  p.done.Load(),
+		Total: p.total.Load(),
+		Phase: phase,
+	}
+}
+
+// ProgressSnapshot is a point-in-time copy of a Progress reporter.
+type ProgressSnapshot struct {
+	Done  int64  `json:"done"`
+	Total int64  `json:"total"`
+	Phase string `json:"phase,omitempty"`
+}
+
+// Fraction returns done/total clamped to [0, 1], or 0 when the total is
+// still unknown.
+func (s ProgressSnapshot) Fraction() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	f := float64(s.Done) / float64(s.Total)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+type progressKey struct{}
+
+// WithProgress returns a context carrying p.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFrom returns the Progress carried by ctx, or nil — which is a
+// valid receiver for every Progress method — when none is attached.
+func ProgressFrom(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

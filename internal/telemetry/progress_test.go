@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestNilProgressIsSafe(t *testing.T) {
+	var p *Progress
+	p.Add(10)
+	p.AddTotal(100)
+	p.SetPhase("x")
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	p.AddTotal(200)
+	p.Add(50)
+	p.SetPhase("sweep")
+	s := p.Snapshot()
+	if s.Done != 50 || s.Total != 200 || s.Phase != "sweep" {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if f := s.Fraction(); f != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", f)
+	}
+}
+
+func TestFractionEdgeCases(t *testing.T) {
+	if f := (ProgressSnapshot{Done: 5}).Fraction(); f != 0 {
+		t.Errorf("unknown total fraction = %v, want 0", f)
+	}
+	if f := (ProgressSnapshot{Done: 20, Total: 10}).Fraction(); f != 1 {
+		t.Errorf("overshoot fraction = %v, want 1", f)
+	}
+}
+
+func TestProgressContext(t *testing.T) {
+	if ProgressFrom(context.Background()) != nil {
+		t.Error("empty context returned a reporter")
+	}
+	p := NewProgress()
+	ctx := WithProgress(context.Background(), p)
+	if ProgressFrom(ctx) != p {
+		t.Error("reporter did not round-trip through context")
+	}
+}
+
+// TestProgressConcurrent hammers one reporter from many goroutines the
+// way parallel Monte-Carlo workers do; run with -race in CI.
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	const workers, per = 32, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.AddTotal(per)
+			for i := 0; i < per; i++ {
+				p.Add(1)
+				if i%500 == 0 {
+					p.SetPhase("worker-phase")
+					_ = p.Snapshot()
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers must always observe done <= total and
+	// monotonically non-decreasing done counts.
+	stop := make(chan struct{})
+	var readerWg sync.WaitGroup
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		var lastDone int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := p.Snapshot()
+			if s.Done < lastDone {
+				t.Errorf("done went backwards: %d -> %d", lastDone, s.Done)
+				return
+			}
+			lastDone = s.Done
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWg.Wait()
+	s := p.Snapshot()
+	if s.Done != workers*per || s.Total != workers*per {
+		t.Errorf("final snapshot = %+v, want %d/%d", s, workers*per, workers*per)
+	}
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a trace. Spans form a tree: StartSpan
+// nests each new span under the one carried by the context.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time // zero while in progress
+	children []*Span
+}
+
+// End marks the span finished. Safe on a nil receiver (no active
+// trace) and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// newChild creates and attaches a child span.
+func (s *Span) newChild(name string) *Span {
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SpanSnapshot is the JSON form of a span subtree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	InProgress bool           `json:"in_progress,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot returns a deep copy of the span subtree. In-progress spans
+// report their duration so far.
+func (s *Span) Snapshot() SpanSnapshot {
+	s.mu.Lock()
+	end := s.end
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	snap := SpanSnapshot{Name: s.name, Start: s.start}
+	if end.IsZero() {
+		snap.InProgress = true
+		end = time.Now()
+	}
+	snap.DurationMS = float64(end.Sub(s.start)) / float64(time.Millisecond)
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+type spanKey struct{}
+
+// StartSpan opens a span named name under the span carried by ctx and
+// returns a derived context carrying it. When ctx carries no span — no
+// trace is active — it returns ctx unchanged and a nil *Span, whose
+// End is a safe no-op; instrumented code therefore never branches on
+// whether tracing is on.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.newChild(name)
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// Trace is one job's span tree.
+type Trace struct {
+	ID      string
+	Root    *Span
+	Started time.Time
+}
+
+// Finish ends the root span.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+}
+
+// Snapshot returns the JSON form of the whole trace.
+func (t *Trace) Snapshot() TraceSnapshot {
+	return TraceSnapshot{ID: t.ID, Started: t.Started, Root: t.Root.Snapshot()}
+}
+
+// TraceSnapshot is the wire form served by /debug/trace/{id}.
+type TraceSnapshot struct {
+	ID      string       `json:"id"`
+	Started time.Time    `json:"started"`
+	Root    SpanSnapshot `json:"root"`
+}
+
+// TraceStore retains the most recent max traces, keyed by id — the
+// queryable in-memory trace buffer behind /debug/trace/{id}. All
+// methods are safe for concurrent use.
+type TraceStore struct {
+	mu     sync.Mutex
+	max    int
+	order  []string // oldest first
+	traces map[string]*Trace
+}
+
+// NewTraceStore returns a store bounded to max traces (clamped to at
+// least 1); the oldest trace is dropped on overflow.
+func NewTraceStore(max int) *TraceStore {
+	if max < 1 {
+		max = 1
+	}
+	return &TraceStore{max: max, traces: make(map[string]*Trace)}
+}
+
+// Start begins a trace with the given id, whose root span becomes the
+// current span of the returned context. The caller ends the trace with
+// Trace.Finish. Starting an id that already exists replaces the old
+// trace.
+func (ts *TraceStore) Start(ctx context.Context, id string) (context.Context, *Trace) {
+	now := time.Now()
+	t := &Trace{ID: id, Root: &Span{name: id, start: now}, Started: now}
+	ts.mu.Lock()
+	if _, ok := ts.traces[id]; !ok {
+		ts.order = append(ts.order, id)
+	}
+	ts.traces[id] = t
+	for len(ts.order) > ts.max {
+		delete(ts.traces, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+	ts.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, t.Root), t
+}
+
+// Get returns the trace with the given id, which may still be running.
+func (ts *TraceStore) Get(id string) (*Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.traces[id]
+	return t, ok
+}
+
+// Len returns the number of retained traces.
+func (ts *TraceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.traces)
+}

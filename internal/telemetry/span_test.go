@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "phase")
+	if sp != nil {
+		t.Error("span created without an active trace")
+	}
+	if ctx2 != ctx {
+		t.Error("context changed without an active trace")
+	}
+	sp.End() // must not panic
+}
+
+func TestTraceTree(t *testing.T) {
+	store := NewTraceStore(8)
+	ctx, tr := store.Start(context.Background(), "job-1")
+
+	ctx1, sweep := StartSpan(ctx, "voltage-sweep")
+	_, point := StartSpan(ctx1, "point/0.60V")
+	point.End()
+	sweep.End()
+	_, search := StartSpan(ctx, "margin-search")
+	search.End()
+	tr.Finish()
+
+	got, ok := store.Get("job-1")
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	snap := got.Snapshot()
+	if snap.ID != "job-1" || snap.Root.Name != "job-1" {
+		t.Errorf("root = %+v", snap.Root.Name)
+	}
+	if snap.Root.InProgress {
+		t.Error("finished trace still in progress")
+	}
+	if len(snap.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(snap.Root.Children))
+	}
+	vs := snap.Root.Children[0]
+	if vs.Name != "voltage-sweep" || len(vs.Children) != 1 || vs.Children[0].Name != "point/0.60V" {
+		t.Errorf("sweep subtree = %+v", vs)
+	}
+	if vs.DurationMS < 0 {
+		t.Errorf("negative duration %v", vs.DurationMS)
+	}
+	// The snapshot must be JSON-serializable (the /debug/trace wire form).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestInProgressSnapshot(t *testing.T) {
+	store := NewTraceStore(1)
+	ctx, _ := store.Start(context.Background(), "live")
+	_, sp := StartSpan(ctx, "running-phase")
+	tr, _ := store.Get("live")
+	snap := tr.Snapshot()
+	if !snap.Root.InProgress {
+		t.Error("running trace not marked in progress")
+	}
+	if len(snap.Root.Children) != 1 || !snap.Root.Children[0].InProgress {
+		t.Errorf("running child not marked in progress: %+v", snap.Root.Children)
+	}
+	sp.End()
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	store := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		_, tr := store.Start(context.Background(), fmt.Sprintf("job-%d", i))
+		tr.Finish()
+	}
+	if store.Len() != 3 {
+		t.Errorf("store len = %d, want 3", store.Len())
+	}
+	if _, ok := store.Get("job-0"); ok {
+		t.Error("oldest trace not evicted")
+	}
+	if _, ok := store.Get("job-4"); !ok {
+		t.Error("newest trace missing")
+	}
+}
+
+// TestConcurrentSpans builds a span tree from many goroutines while a
+// reader snapshots it; run with -race in CI.
+func TestConcurrentSpans(t *testing.T) {
+	store := NewTraceStore(2)
+	ctx, tr := store.Start(context.Background(), "conc")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := StartSpan(ctx, fmt.Sprintf("w%d/%d", w, i))
+				_, inner := StartSpan(c, "inner")
+				inner.End()
+				sp.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	tr.Finish()
+	if n := len(tr.Snapshot().Root.Children); n != 8*50 {
+		t.Errorf("children = %d, want %d", n, 8*50)
+	}
+}
