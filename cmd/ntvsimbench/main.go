@@ -1,0 +1,119 @@
+// Command ntvsimbench runs the repository's benchmark suites and emits
+// a schema-documented BENCH_<yyyymmdd>.json snapshot, the unit of the
+// repo's committed performance trajectory (see docs/BENCHMARKS.md).
+//
+// It shells out to the standard benchmark harness —
+//
+//	go test -run ^$ -bench <regexp> -benchmem <packages>
+//
+// — parses the benchmark result lines (including custom metrics such as
+// samples/sec and the reproduced paper quantities attached via
+// b.ReportMetric), and writes one JSON document combining machine
+// context with every parsed benchmark.
+//
+// Usage:
+//
+//	ntvsimbench [flags]
+//
+//	-bench regexp    benchmarks to run (default Kernel|NewSub|Reset: the
+//	                 sampling-kernel microbenchmarks)
+//	-artifacts       also run the per-artifact suite in the repo root
+//	                 (Benchmark(Fig|Table|...)): slower, adds reproduced
+//	                 paper metrics to the snapshot
+//	-count n         -count passed to go test (default 1)
+//	-benchtime s     -benchtime passed to go test (default "1s")
+//	-o path          output path (default BENCH_<yyyymmdd>.json in the
+//	                 current directory)
+//	-dir path        repository root to run in (default ".")
+//
+// Exit status is non-zero if go test fails or no benchmarks matched.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// kernelPackages hosts the sampling-kernel microbenchmarks; the
+// artifact suite lives in the repository root package.
+var kernelPackages = []string{"./internal/montecarlo/", "./internal/rng/"}
+
+func main() {
+	bench := flag.String("bench", "Kernel|NewSub|Reset", "benchmark regexp passed to go test -bench for the kernel packages")
+	artifacts := flag.Bool("artifacts", false, "also run the per-artifact benchmarks in the repo root")
+	artifactBench := flag.String("artifactbench", ".", "benchmark regexp for the artifact suite (with -artifacts)")
+	count := flag.Int("count", 1, "go test -count")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime")
+	out := flag.String("o", "", "output path (default BENCH_<yyyymmdd>.json)")
+	dir := flag.String("dir", ".", "repository root to run the benchmarks in")
+	flag.Parse()
+
+	snap := Snapshot{
+		SchemaVersion: SchemaVersion,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Bench:         *bench,
+		Benchtime:     *benchtime,
+		Count:         *count,
+	}
+
+	type benchRun struct {
+		bench string
+		pkgs  []string
+	}
+	runs := []benchRun{{*bench, kernelPackages}}
+	if *artifacts {
+		runs = append(runs, benchRun{*artifactBench, []string{"."}})
+	}
+	for _, r := range runs {
+		args := []string{"test", "-run", "^$", "-bench", r.bench, "-benchmem",
+			"-count", fmt.Sprint(*count), "-benchtime", *benchtime}
+		args = append(args, r.pkgs...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = *dir
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		fmt.Fprintf(os.Stderr, "ntvsimbench: go %v\n", args)
+		if err := cmd.Run(); err != nil {
+			fatalf("go test %v: %v", r.pkgs, err)
+		}
+		rs, err := ParseBenchOutput(buf.String())
+		if err != nil {
+			fatalf("parsing go test output: %v", err)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, rs...)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatalf("no benchmarks matched -bench %q", *bench)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102"))
+	}
+	blob, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatalf("encoding snapshot: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("ntvsimbench: wrote %d benchmarks to %s\n", len(snap.Benchmarks), filepath.Clean(path))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ntvsimbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_*.json document layout. Bump it
+// (and docs/BENCHMARKS.md) on any incompatible change so trajectory
+// tooling can refuse to compare apples to oranges.
+const SchemaVersion = 1
+
+// Snapshot is the top-level BENCH_*.json document: one benchmark run on
+// one machine at one commit.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	Generated     string `json:"generated"` // RFC 3339 UTC
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Bench         string `json:"bench"`     // -bench regexp the run used
+	Benchtime     string `json:"benchtime"` // -benchtime the run used
+	Count         int    `json:"count"`     // -count the run used
+
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line from go test -bench -benchmem.
+// NsPerOp/BytesPerOp/AllocsPerOp mirror the standard columns; Metrics
+// carries every custom b.ReportMetric pair on the line (samples/sec for
+// the kernel benchmarks, reproduced paper quantities for the artifact
+// suite), keyed by unit.
+type Benchmark struct {
+	Name        string             `json:"name"` // without the -<procs> suffix
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ParseBenchOutput extracts every benchmark result line from go test
+// -bench output. Non-benchmark lines (goos/pkg headers, PASS/ok
+// trailers) are skipped; a malformed Benchmark line is an error rather
+// than a silent drop, so a harness change that breaks the format breaks
+// the pipeline loudly.
+func ParseBenchOutput(out string) ([]Benchmark, error) {
+	var results []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%v in line %q", err, line)
+		}
+		results = append(results, b)
+	}
+	return results, nil
+}
+
+// parseBenchLine parses one line of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   2 allocs/op   1e6 samples/sec
+//
+// The name field is mandatory; every following field is a value/unit
+// pair.
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	// name + iterations + k value/unit pairs = an even count ≥ 4.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("want name + iterations + value/unit pairs, got %d fields", len(fields))
+	}
+	b := Benchmark{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value %q for unit %q", fields[i], fields[i+1])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/ntvsim/ntvsim/internal/montecarlo
+cpu: AMD EPYC 7B13
+BenchmarkKernelMoments-8   	    5000	    230001 ns/op	 72000000 samples/sec	      32 B/op	       1 allocs/op
+BenchmarkKernelSample-8    	    4000	    310000 ns/op	 52000000 samples/sec	  131104 B/op	       2 allocs/op
+PASS
+ok  	github.com/ntvsim/ntvsim/internal/montecarlo	3.1s
+BenchmarkFig2 	      10	 120000000 ns/op	        56.2 22nm3σ/μ@0.5V%	 1000000 B/op	    5000 allocs/op
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rs, err := ParseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rs))
+	}
+	m := rs[0]
+	if m.Name != "BenchmarkKernelMoments" || m.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", m.Name, m.Procs)
+	}
+	if m.Iterations != 5000 || m.NsPerOp != 230001 {
+		t.Errorf("iters/ns = %d/%v", m.Iterations, m.NsPerOp)
+	}
+	if m.BytesPerOp != 32 || m.AllocsPerOp != 1 {
+		t.Errorf("B/allocs = %v/%v", m.BytesPerOp, m.AllocsPerOp)
+	}
+	if got := m.Metrics["samples/sec"]; got != 72e6 {
+		t.Errorf("samples/sec = %v", got)
+	}
+	// Artifact line: no -procs suffix, custom unicode metric unit.
+	f := rs[2]
+	if f.Name != "BenchmarkFig2" || f.Procs != 1 {
+		t.Errorf("fig2 name/procs = %q/%d", f.Name, f.Procs)
+	}
+	if got := f.Metrics["22nm3σ/μ@0.5V%"]; got != 56.2 {
+		t.Errorf("fig2 custom metric = %v", got)
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	rs, err := ParseBenchOutput("PASS\nok \tpkg\t0.1s\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchless output", len(rs))
+	}
+}
+
+func TestParseBenchOutputMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4   notanumber   10 ns/op",
+		"BenchmarkX-4   100   oops ns/op",
+		"BenchmarkX-4   100",
+	} {
+		if _, err := ParseBenchOutput(bad); err == nil {
+			t.Errorf("no error for malformed line %q", bad)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip pins the JSON field names of the documented
+// schema (docs/BENCHMARKS.md): renaming a field is a schema change and
+// must bump SchemaVersion.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := Snapshot{
+		SchemaVersion: SchemaVersion,
+		Generated:     "2026-08-05T00:00:00Z",
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		GOMAXPROCS:    8,
+		Bench:         "Kernel",
+		Benchtime:     "1s",
+		Count:         1,
+		Benchmarks: []Benchmark{{
+			Name: "BenchmarkKernelMoments", Procs: 8, Iterations: 5000,
+			NsPerOp: 230001, BytesPerOp: 32, AllocsPerOp: 1,
+			Metrics: map[string]float64{"samples/sec": 72e6},
+		}},
+	}
+	blob, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"schema_version":1`, `"generated"`, `"go_version"`, `"goos"`, `"goarch"`,
+		`"gomaxprocs"`, `"bench"`, `"benchtime"`, `"count"`, `"benchmarks"`,
+		`"name"`, `"procs"`, `"iterations"`, `"ns_per_op"`, `"bytes_per_op"`,
+		`"allocs_per_op"`, `"metrics"`, `"samples/sec"`,
+	} {
+		if !strings.Contains(string(blob), key) {
+			t.Errorf("snapshot JSON missing %s: %s", key, blob)
+		}
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].Metrics["samples/sec"] != 72e6 {
+		t.Error("metrics did not round-trip")
+	}
+}

@@ -1,0 +1,76 @@
+package montecarlo
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+// The allocation-regression tests run single-worker (GOMAXPROCS=1) so
+// the budget is exact: parallel runs add a fixed per-worker overhead
+// (goroutine, errs slice, one stream each) that is still O(workers) per
+// call, never O(n) per sample. Each budget is a per-*call* bound — the
+// point is that it does not scale with the sample count.
+
+// allocsSingleWorker reports AllocsPerRun for f with GOMAXPROCS pinned
+// to 1.
+func allocsSingleWorker(f func()) float64 {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	return testing.AllocsPerRun(10, f)
+}
+
+func TestMomentsAllocationBound(t *testing.T) {
+	const n = 8192
+	fn := func(r *rng.Stream) float64 { return r.Norm() }
+	allocs := allocsSingleWorker(func() { Moments(1, n, fn) })
+	// Expected: one worker stream escape plus closure plumbing —
+	// constant, and far below one alloc per call amortized over n
+	// samples.
+	if allocs > 8 {
+		t.Errorf("Moments(n=%d) allocates %v per call, want ≤ 8", n, allocs)
+	}
+	if perSample := allocs / n; perSample > 0.001 {
+		t.Errorf("Moments allocates %v per sample, want 0 (was 1+ before stream reuse)", perSample)
+	}
+}
+
+func TestSampleAllocationBound(t *testing.T) {
+	const n = 8192
+	fn := func(r *rng.Stream) float64 { return r.Float64() }
+	allocs := allocsSingleWorker(func() { Sample(1, n, fn) })
+	// Expected: the n-float result slice, one worker stream, closure
+	// plumbing. The result slice is the output, not hot-loop garbage.
+	if allocs > 8 {
+		t.Errorf("Sample(n=%d) allocates %v per call, want ≤ 8", n, allocs)
+	}
+}
+
+func TestSampleVecAllocationBound(t *testing.T) {
+	const n, width = 4096, 8
+	fn := func(r *rng.Stream, dst []float64) {
+		for i := range dst {
+			dst[i] = r.Float64()
+		}
+	}
+	allocs := allocsSingleWorker(func() { SampleVec(1, n, width, fn) })
+	// Expected: the row-header slice + ONE flat slab (this was 1+n row
+	// allocations before the slab), one worker stream, closure plumbing.
+	if allocs > 8 {
+		t.Errorf("SampleVec(n=%d,width=%d) allocates %v per call, want ≤ 8", n, width, allocs)
+	}
+}
+
+// TestAllocationsDoNotScaleWithN is the amortization property stated
+// directly: quadrupling the sample count must not change the per-call
+// allocation count (result buffers aside, which the fixed budget above
+// already covers — here Moments returns no buffer at all).
+func TestAllocationsDoNotScaleWithN(t *testing.T) {
+	fn := func(r *rng.Stream) float64 { return r.Norm() }
+	small := allocsSingleWorker(func() { Moments(3, 1024, fn) })
+	large := allocsSingleWorker(func() { Moments(3, 4096, fn) })
+	if large > small {
+		t.Errorf("Moments allocations scale with n: %v @1024 vs %v @4096", small, large)
+	}
+}

@@ -19,6 +19,25 @@
 // watch samples-done/samples-total while a sweep runs. Without a
 // reporter the loops are unchanged — the reporter pointer is nil and
 // every tick is a nil-receiver no-op.
+//
+// # Allocation discipline
+//
+// The sampling loops are the hot path of every figure and table in the
+// study, so they are allocation-free per sample: each worker owns one
+// rng.Stream that is Reset (in place, no heap) to the per-index
+// sub-stream before every fn call, which is bit-identical to handing fn
+// a fresh rng.NewSub(seed, i). The only allocations are per call —
+// the result buffers and one stream per worker — and alloc-regression
+// tests in this package enforce that bound.
+//
+// SampleVec/SampleVecCtx back all n rows with a single flat row-major
+// slab and return length=capacity row views into it: rows are disjoint
+// (writing one row never changes another, and append on a row
+// reallocates rather than clobbering its neighbour), but they share one
+// backing array, so retaining any single row retains the whole n×width
+// slab and WriteTo-style in-place reuse of a row is visible through the
+// returned matrix. Callers that need an independently-owned row must
+// copy it.
 package montecarlo
 
 import (
@@ -67,8 +86,8 @@ func SampleCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) f
 	out := make([]float64, n)
 	prog := telemetry.ProgressFrom(ctx)
 	prog.AddTotal(int64(n))
-	if err := parallelFor(ctx, prog, n, func(i int) {
-		out[i] = fn(rng.NewSub(seed, i))
+	if err := parallelFor(ctx, prog, seed, n, func(i int, r *rng.Stream) {
+		out[i] = fn(r)
 	}); err != nil {
 		return nil, err
 	}
@@ -78,20 +97,30 @@ func SampleCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) f
 // SampleVec evaluates a vector-valued fn for n sample indices. fn must
 // write its outputs into dst (length width); the result is an n×width
 // row-major matrix flattened into rows.
+//
+// All rows are views into one flat backing slab (see the package comment
+// on allocation discipline): disjoint and append-safe, but sharing one
+// allocation. Copy a row before retaining it independently.
 func SampleVec(seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) [][]float64 {
 	out, _ := SampleVecCtx(context.Background(), seed, n, width, fn)
 	return out
 }
 
 // SampleVecCtx is SampleVec with cooperative cancellation, under the
-// same bit-identical-when-uncancelled contract as SampleCtx.
+// same bit-identical-when-uncancelled contract as SampleCtx and the same
+// shared-slab row semantics as SampleVec.
 func SampleVecCtx(ctx context.Context, seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) ([][]float64, error) {
 	out := make([][]float64, n)
+	// One row-major slab for all rows: a single allocation instead of n,
+	// and cache-friendly sequential layout for the quantile/sort passes
+	// downstream. Rows are sliced with capacity pinned to width so an
+	// append on a returned row can never write into the next row.
+	slab := make([]float64, n*width)
 	prog := telemetry.ProgressFrom(ctx)
 	prog.AddTotal(int64(n))
-	if err := parallelFor(ctx, prog, n, func(i int) {
-		row := make([]float64, width)
-		fn(rng.NewSub(seed, i), row)
+	if err := parallelFor(ctx, prog, seed, n, func(i int, r *rng.Stream) {
+		row := slab[i*width : (i+1)*width : (i+1)*width]
+		fn(r, row)
 		out[i] = row
 	}); err != nil {
 		return nil, err
@@ -113,6 +142,16 @@ func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) 
 	prog := telemetry.ProgressFrom(ctx)
 	prog.AddTotal(int64(n))
 	workers := workerCount(n)
+	if workers <= 1 {
+		var total stats.Stream
+		err := runSpan(ctx, prog, seed, 0, n, func(i int, r *rng.Stream) {
+			total.Add(fn(r))
+		})
+		if err != nil {
+			return stats.Stream{}, err
+		}
+		return total, nil
+	}
 	partial := make([]stats.Stream, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -121,8 +160,8 @@ func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = runSpan(ctx, prog, lo, hi, func(i int) {
-				partial[w].Add(fn(rng.NewSub(seed, i)))
+			errs[w] = runSpan(ctx, prog, seed, lo, hi, func(i int, r *rng.Stream) {
+				partial[w].Add(fn(r))
 			})
 		}(w, lo, hi)
 	}
@@ -139,12 +178,14 @@ func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) 
 	return total, nil
 }
 
-// parallelFor runs body(i) for i in [0, n) across GOMAXPROCS workers,
+// parallelFor runs body(i, r) for i in [0, n) across GOMAXPROCS workers,
 // returning ctx's error if cancellation is observed before completion.
-func parallelFor(ctx context.Context, prog *telemetry.Progress, n int, body func(i int)) error {
+// Each worker owns one rng.Stream, reset per index; body must not retain
+// r beyond the call.
+func parallelFor(ctx context.Context, prog *telemetry.Progress, seed uint64, n int, body func(i int, r *rng.Stream)) error {
 	workers := workerCount(n)
 	if workers <= 1 {
-		return runSpan(ctx, prog, 0, n, body)
+		return runSpan(ctx, prog, seed, 0, n, body)
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -153,7 +194,7 @@ func parallelFor(ctx context.Context, prog *telemetry.Progress, n int, body func
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = runSpan(ctx, prog, lo, hi, body)
+			errs[w] = runSpan(ctx, prog, seed, lo, hi, body)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -169,7 +210,12 @@ func parallelFor(ctx context.Context, prog *telemetry.Progress, n int, body func
 // ticking the progress reporter once per checkEvery iterations, and
 // crediting completed evaluations to the process-wide sample counter.
 // A nil prog costs one pointer comparison per chunk.
-func runSpan(ctx context.Context, prog *telemetry.Progress, lo, hi int, body func(i int)) error {
+//
+// The single worker-owned stream is Reset to the (seed, i) sub-stream
+// before each body call — bit-identical to rng.NewSub(seed, i) but
+// without the per-sample heap allocation (one stream per span instead).
+func runSpan(ctx context.Context, prog *telemetry.Progress, seed uint64, lo, hi int, body func(i int, r *rng.Stream)) error {
+	var stream rng.Stream
 	done := ctx.Done()
 	evaluated, reported := 0, 0
 	defer func() {
@@ -190,7 +236,8 @@ func runSpan(ctx context.Context, prog *telemetry.Progress, lo, hi int, body fun
 				}
 			}
 		}
-		body(i)
+		stream.Reset(seed, i)
+		body(i, &stream)
 		evaluated++
 	}
 	return nil

@@ -5,6 +5,21 @@
 // workers each derive an independent sub-stream from (seed, stream index)
 // so that results are identical regardless of the number of workers or
 // the scheduling order.
+//
+// # Allocation-free reseeding
+//
+// The Monte-Carlo hot loop derives one sub-stream per sample index —
+// millions of derivations per sweep. To keep that loop off the heap, a
+// Stream owns its PCG state by value and can be re-derived in place with
+// Reset: a worker allocates one Stream and calls Reset(seed, i) before
+// each sample. Reset(seed, idx) leaves the Stream in exactly the state
+// NewSub(seed, idx) would return, so the two are interchangeable
+// bit-for-bit; golden tests in this package and in internal/montecarlo
+// pin that equivalence.
+//
+// Because the embedded generator holds an interior pointer to the
+// Stream's own PCG state, a Stream must not be copied by value after
+// use; always pass *Stream (every constructor returns one).
 package rng
 
 import (
@@ -12,24 +27,51 @@ import (
 )
 
 // Stream is a deterministic random stream. It wraps the PCG generator
-// from math/rand/v2 and adds Gaussian sampling and splitting.
+// from math/rand/v2 by value and adds Gaussian sampling, splitting and
+// in-place reseeding. The zero value is not ready to use: obtain a
+// Stream from New or NewSub, or call Reset on a zero Stream first.
+//
+// A Stream must not be copied after first use (see the package comment).
 type Stream struct {
-	r *rand.Rand
+	r   rand.Rand
+	pcg rand.PCG
+}
+
+// seed points the stream at the PCG state (hi, lo) in place, binding the
+// wrapped generator to the stream's own PCG on first use. It performs no
+// heap allocation.
+func (s *Stream) seed(hi, lo uint64) {
+	s.pcg.Seed(hi, lo)
+	s.r = *rand.New(&s.pcg)
 }
 
 // New returns a stream seeded from a single 64-bit seed.
 func New(seed uint64) *Stream {
-	return &Stream{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	s := new(Stream)
+	s.seed(seed, seed^0x9e3779b97f4a7c15)
+	return s
 }
 
 // NewSub returns the idx-th independent sub-stream of seed. Sub-streams
 // with distinct indices are statistically independent for practical
 // purposes: the PCG state space is seeded with a SplitMix64-style hash of
-// (seed, idx).
+// (seed, idx). NewSub(seed, idx) is equivalent to Reset(seed, idx) on a
+// fresh Stream.
 func NewSub(seed uint64, idx int) *Stream {
+	s := new(Stream)
+	s.Reset(seed, idx)
+	return s
+}
+
+// Reset re-derives the stream in place as the idx-th sub-stream of seed,
+// with no heap allocation. After Reset the stream is bit-identical to a
+// fresh NewSub(seed, idx): the same sequence of Uint64/Float64/Norm/…
+// calls yields the same values. Hot loops allocate one Stream per worker
+// and Reset it per sample index instead of calling NewSub per sample.
+func (s *Stream) Reset(seed uint64, idx int) {
 	lo := mix(seed + uint64(idx)*0x9e3779b97f4a7c15)
 	hi := mix(lo ^ 0xbf58476d1ce4e5b9)
-	return &Stream{r: rand.New(rand.NewPCG(lo, hi))}
+	s.seed(lo, hi)
 }
 
 // mix is the SplitMix64 finalizer: a bijective avalanche function used to

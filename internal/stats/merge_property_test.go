@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Property tests for Stream.Merge, the operation that makes parallel
+// Monte-Carlo moment accumulation independent of the worker split: for
+// any partition of a sample into per-worker streams and any merge
+// order, the merged stream must agree with single-stream accumulation.
+// Exact equality is too strong for floating point — Welford partial
+// sums associate differently — so mean/variance are compared to an
+// ulp-scale relative tolerance while n/min/max, which are exact under
+// any order, are compared exactly.
+
+// relClose reports whether a and b agree to within tol relative to
+// their magnitude (absolute near zero).
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+func checkStreamsAgree(t *testing.T, label string, got, want *Stream, tol float64) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("%s: N = %d, want %d", label, got.N(), want.N())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Fatalf("%s: extrema (%v,%v) != (%v,%v)",
+			label, got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	if !relClose(got.Mean(), want.Mean(), tol) {
+		t.Fatalf("%s: mean %v != %v", label, got.Mean(), want.Mean())
+	}
+	if !relClose(got.Variance(), want.Variance(), tol) {
+		t.Fatalf("%s: variance %v != %v", label, got.Variance(), want.Variance())
+	}
+}
+
+// tolDefault is ~4500 ulp at scale 1: room for Welford re-association,
+// far below any physical signal in the study. tolCancel applies to the
+// σ/μ = 1e-9 cancellation case: delta = x − mean inherits the mean's
+// absolute rounding error (~με), so m2 agreement across association
+// orders degrades to a few × ε·μ/σ ≈ 2e-7 relative — tolCancel leaves
+// a small factor of headroom above that floor.
+const (
+	tolDefault = 1e-12
+	tolCancel  = 1e-6
+)
+
+// TestMergeMatchesSingleStream partitions one sample into k chunks and
+// checks chunked accumulation + left-to-right merge against the single
+// stream, across chunk counts, sizes (including empty and singleton
+// chunks) and distributions with very different scales.
+func TestMergeMatchesSingleStream(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	gens := []struct {
+		name string
+		gen  func() float64
+		tol  float64
+	}{
+		{"uniform", r.Float64, tolDefault},
+		{"normal", r.NormFloat64, tolDefault},
+		// Catastrophic-cancellation bait: σ/μ = 1e-9.
+		{"largeMean", func() float64 { return 1e9 + r.NormFloat64() }, tolCancel},
+		{"tiny", func() float64 { return 1e-9 * r.NormFloat64() }, tolDefault},
+	}
+	for _, g := range gens {
+		name, gen := g.name, g.gen
+		for _, k := range []int{1, 2, 3, 7, 16} {
+			const n = 4096
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = gen()
+			}
+			var single Stream
+			for _, x := range xs {
+				single.Add(x)
+			}
+			parts := make([]Stream, k+1) // one extra: always include an empty stream
+			for i, x := range xs {
+				parts[i%k].Add(x)
+			}
+			var merged Stream
+			for i := range parts {
+				merged.Merge(&parts[i])
+			}
+			checkStreamsAgree(t, name, &merged, &single, g.tol)
+		}
+	}
+}
+
+// TestMergeOrderInsensitive merges the same partition in many random
+// orders and as a balanced tree, requiring all results to agree with
+// the sequential order to the same tolerance.
+func TestMergeOrderInsensitive(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	const k, chunk = 12, 337
+	parts := make([]Stream, k)
+	for i := range parts {
+		for j := 0; j < chunk; j++ {
+			parts[i].Add(100*r.NormFloat64() + float64(i))
+		}
+	}
+	var sequential Stream
+	for i := range parts {
+		sequential.Merge(&parts[i])
+	}
+	for trial := 0; trial < 50; trial++ {
+		order := r.Perm(k)
+		var m Stream
+		for _, i := range order {
+			m.Merge(&parts[i])
+		}
+		checkStreamsAgree(t, "shuffled order", &m, &sequential, tolDefault)
+	}
+	// Balanced pairwise tree, the shape a parallel reduction produces.
+	tree := make([]Stream, k)
+	copy(tree, parts)
+	for len(tree) > 1 {
+		var next []Stream
+		for i := 0; i+1 < len(tree); i += 2 {
+			tree[i].Merge(&tree[i+1])
+			next = append(next, tree[i])
+		}
+		if len(tree)%2 == 1 {
+			next = append(next, tree[len(tree)-1])
+		}
+		tree = next
+	}
+	checkStreamsAgree(t, "tree merge", &tree[0], &sequential, tolDefault)
+}
+
+// TestMergeEmptyIdentity pins the algebraic identities: merging an
+// empty stream is a no-op, and merging into an empty stream copies.
+func TestMergeEmptyIdentity(t *testing.T) {
+	var a Stream
+	for _, x := range []float64{3, 1, 4, 1, 5} {
+		a.Add(x)
+	}
+	before := a
+	var empty Stream
+	a.Merge(&empty)
+	if a != before {
+		t.Error("merging an empty stream changed the receiver")
+	}
+	var b Stream
+	b.Merge(&a)
+	if b != a {
+		t.Error("merging into an empty stream is not a copy")
+	}
+}
