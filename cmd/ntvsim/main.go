@@ -5,23 +5,32 @@
 // Usage:
 //
 //	ntvsim [-seed N] [-quick] [-progress] [-list] [-o dir] [experiment ...]
+//	ntvsim -sweep '<json spec>' [-o dir]
+//	ntvsim -sweep @spec.json [-o dir]
 //
 // Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12
 // table1 table2 table3 table4 ks synctium, the extensions ablation
 // corners itd yield, or "all" (the default).
+//
+// -sweep runs a parameter sweep serially in-process (the same grid the
+// ntvsimd service shards across its worker pool; see docs/SWEEPS.md for
+// the spec grammar). The spec is inline JSON or @file.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/sweep"
 )
 
 func main() {
@@ -29,6 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sample counts (fast, noisier)")
 	progress := flag.Bool("progress", false, "render a live per-experiment progress line on stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	sweepSpec := flag.String("sweep", "", "run a parameter sweep: inline JSON spec or @file (see docs/SWEEPS.md)")
 	outDir := flag.String("o", "", "also write <id>.txt (and <id>.csv where available) into this directory")
 	flag.Parse()
 
@@ -36,7 +46,15 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		fmt.Println("\nsweep metrics (for -sweep):")
+		for _, k := range sweep.Kernels() {
+			fmt.Printf("  %-14s %s\n", k.ID, k.Description)
+		}
 		return
+	}
+
+	if *sweepSpec != "" {
+		os.Exit(runSweep(*sweepSpec, *seed, *outDir))
 	}
 
 	cfg := experiments.Default()
@@ -80,6 +98,49 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// runSweep parses the -sweep argument (inline JSON or @file), runs the
+// sweep serially under an interruptible context, prints the merged
+// table and optionally writes sweep.txt/sweep.csv artifacts.
+func runSweep(arg string, seed uint64, outDir string) int {
+	raw := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntvsim: -sweep: %v\n", err)
+			return 1
+		}
+		raw = b
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		fmt.Fprintf(os.Stderr, "ntvsim: -sweep: invalid spec: %v\n", err)
+		return 1
+	}
+	if seed != 0 && spec.Seed == 0 {
+		spec.Seed = seed
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	res, err := sweep.RunSerial(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntvsim: sweep: %v\n", err)
+		return 1
+	}
+	fmt.Printf("=== sweep (%.1fs) ===\n%s\n", time.Since(start).Seconds(), res.Render())
+	if outDir != "" {
+		if err := writeArtifacts(outDir, "sweep", res); err != nil {
+			fmt.Fprintf(os.Stderr, "ntvsim: sweep: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // writeArtifacts stores the rendered text and, when the result supports

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"github.com/ntvsim/ntvsim/internal/jobs"
+)
+
+// API error codes. Codes are part of the v1 contract: stable snake_case
+// identifiers a client can switch on, documented in docs/API.md. The
+// human-readable message may change between releases; the code may not.
+const (
+	codeInvalidBody          = "invalid_body"          // malformed or oversized JSON request body
+	codeUnknownExperiment    = "unknown_experiment"    // experiment id not in the registry
+	codeInvalidConfig        = "invalid_config"        // config rejected by Normalized
+	codeInvalidQuery         = "invalid_query"         // bad query parameter (limit, offset, state, format)
+	codeJobNotFound          = "job_not_found"         // no job with that id
+	codeJobNotCancellable    = "job_not_cancellable"   // job already terminal
+	codeQueueFull            = "queue_full"            // worker pool queue at capacity
+	codeShuttingDown         = "shutting_down"         // manager closed, no new submissions
+	codeTraceNotFound        = "trace_not_found"       // no span tree recorded for that id
+	codeInvalidSweep         = "invalid_sweep"         // sweep spec rejected by Normalized
+	codeSweepNotFound        = "sweep_not_found"       // no sweep with that id
+	codeSweepNotCancellable  = "sweep_not_cancellable" // sweep already terminal
+	codeStreamingUnsupported = "streaming_unsupported" // transport cannot flush SSE
+	codeInternal             = "internal"              // unexpected server-side failure
+)
+
+// apiError is the typed error envelope every non-2xx v1 response wraps
+// its diagnosis in: {"error": {"code": "...", "message": "..."}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// writeAPIError writes the typed error envelope with the given HTTP
+// status, stable code and human-readable message.
+func writeAPIError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: message}})
+}
+
+// writeAPIErrorf is writeAPIError with a formatted message.
+func writeAPIErrorf(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeAPIError(w, status, code, fmt.Sprintf(format, args...))
+}
+
+// healthPayload is the typed GET /healthz response.
+type healthPayload struct {
+	OK          bool `json:"ok"`
+	Experiments int  `json:"experiments"` // registered experiment count
+	Workers     int  `json:"workers"`     // worker-pool size
+	QueueDepth  int  `json:"queue_depth"` // jobs waiting for a worker
+	JobsRunning int  `json:"jobs_running"`
+}
+
+// jobListPayload is the typed GET /v1/jobs response: one page of the
+// newest-first job listing plus the pre-pagination total.
+type jobListPayload struct {
+	Jobs   []jobPayload `json:"jobs"`
+	Total  int          `json:"total"` // jobs matching the filter, before limit/offset
+	Limit  int          `json:"limit"`
+	Offset int          `json:"offset"`
+}
+
+// defaultJobListLimit is the GET /v1/jobs page size when limit is
+// omitted; maxJobListLimit caps an explicit one.
+const (
+	defaultJobListLimit = 50
+	maxJobListLimit     = 1000
+)
+
+// listQuery is the parsed pagination/filter query of a listing
+// endpoint.
+type listQuery struct {
+	state  jobs.State // "" = all
+	limit  int
+	offset int
+}
+
+// parseListQuery parses and validates state/limit/offset. An error has
+// already been written to w when ok is false.
+func parseListQuery(w http.ResponseWriter, r *http.Request) (listQuery, bool) {
+	q := listQuery{limit: defaultJobListLimit}
+	vals := r.URL.Query()
+	if s := vals.Get("state"); s != "" {
+		switch st := jobs.State(s); st {
+		case jobs.Queued, jobs.Running, jobs.Done, jobs.Failed, jobs.Cancelled:
+			q.state = st
+		default:
+			writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery,
+				"unknown state %q (one of queued, running, done, failed, cancelled)", s)
+			return listQuery{}, false
+		}
+	}
+	if s := vals.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery, "limit %q must be a positive integer", s)
+			return listQuery{}, false
+		}
+		q.limit = min(n, maxJobListLimit)
+	}
+	if s := vals.Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery, "offset %q must be a non-negative integer", s)
+			return listQuery{}, false
+		}
+		q.offset = n
+	}
+	return q, true
+}
+
+// sortJobsNewestFirst orders snapshots by creation time descending,
+// breaking ties by id so pagination is deterministic.
+func sortJobsNewestFirst(snaps []jobs.Snapshot) {
+	sort.Slice(snaps, func(i, j int) bool {
+		if !snaps[i].Created.Equal(snaps[j].Created) {
+			return snaps[i].Created.After(snaps[j].Created)
+		}
+		return snaps[i].ID < snaps[j].ID
+	})
+}
+
+// page slices out [offset, offset+limit) of a filtered listing.
+func page[T any](items []T, q listQuery) []T {
+	if q.offset >= len(items) {
+		return []T{}
+	}
+	items = items[q.offset:]
+	if len(items) > q.limit {
+		items = items[:q.limit]
+	}
+	return items
+}

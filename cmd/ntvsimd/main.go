@@ -1,22 +1,29 @@
 // Command ntvsimd serves the experiment registry of the DAC 2012
-// reproduction over HTTP as an asynchronous job API with result
-// caching, cancellation and full telemetry: per-job progress, SSE event
-// streams, span traces, and Prometheus metrics.
+// reproduction over HTTP as an asynchronous job API with sharded
+// parameter sweeps, result caching, cancellation and full telemetry:
+// per-job progress, SSE event streams, span traces, and Prometheus
+// metrics. Errors use a typed envelope with stable codes; see the
+// Conventions section of docs/API.md.
 //
 // Usage:
 //
 //	ntvsimd [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //
-// Endpoints (see docs/API.md and docs/OBSERVABILITY.md):
+// Endpoints (see docs/API.md, docs/SWEEPS.md and docs/OBSERVABILITY.md):
 //
-//	GET  /v1/experiments           list runnable experiment ids
+//	GET  /v1/experiments           list experiments (typed; ?format=ids deprecated)
 //	POST /v1/jobs                  enqueue an experiment run
-//	GET  /v1/jobs                  list jobs
+//	GET  /v1/jobs                  list jobs (state=, limit=, offset=)
 //	GET  /v1/jobs/{id}             job status and result
 //	GET  /v1/jobs/{id}/progress    live samples-done/samples-total and phase
 //	GET  /v1/jobs/{id}/events      SSE stream of progress/phase/done events
 //	POST /v1/jobs/{id}/cancel      cancel a queued or running job
+//	POST /v1/sweeps                start a sharded parameter sweep
+//	GET  /v1/sweeps                list sweeps, newest first
+//	GET  /v1/sweeps/{id}           shard states, partial results, merged result
+//	GET  /v1/sweeps/{id}/events    SSE stream of shard progress/done events
+//	POST /v1/sweeps/{id}/cancel    cancel every non-terminal shard
 //	GET  /debug/trace/{id}         span tree of a job's run as JSON
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /metrics/expvar           legacy expvar JSON dump

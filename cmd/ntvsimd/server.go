@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
-	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -18,6 +17,7 @@ import (
 	"github.com/ntvsim/ntvsim/internal/jobs"
 	"github.com/ntvsim/ntvsim/internal/montecarlo"
 	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/sweep"
 	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
@@ -128,10 +128,11 @@ func init() {
 		func(s *server) float64 { return float64(s.cache.Len()) })
 }
 
-// server wires the experiments registry, the job manager, the result
-// cache and the trace buffer behind an HTTP mux.
+// server wires the experiments registry, the job manager, the sweep
+// engine, the result cache and the trace buffer behind an HTTP mux.
 type server struct {
 	jobs    *jobs.Manager
+	sweeps  *sweep.Engine
 	cache   *resultcache.Cache[experiments.Result]
 	traces  *telemetry.TraceStore
 	log     *slog.Logger
@@ -151,6 +152,7 @@ func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server 
 		workers: workers,
 		mux:     http.NewServeMux(),
 	}
+	s.sweeps = sweep.NewEngine(s.jobs, s.cache, s.traces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -159,6 +161,11 @@ func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server 
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleCancelSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /metrics/expvar", expvar.Handler())
@@ -324,27 +331,44 @@ func snapshotPayload(s jobs.Snapshot) jobPayload {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, healthPayload{
+		OK:          true,
+		Experiments: len(experiments.IDs()),
+		Workers:     s.workers,
+		QueueDepth:  s.jobs.QueueDepth(),
+		JobsRunning: s.jobs.Running(),
+	})
 }
 
+// handleExperiments lists the registry as typed objects. The pre-v1
+// bare-id listing survives under ?format=ids (deprecated; see
+// docs/API.md deprecation policy).
 func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.IDs()})
+	switch format := r.URL.Query().Get("format"); format {
+	case "":
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.List()})
+	case "ids":
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.IDs()})
+	default:
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery,
+			"unknown format %q (omit for objects, or \"ids\")", format)
+	}
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody, "invalid JSON body: %v", err)
 		return
 	}
 	if req.Experiment == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing \"experiment\" field"))
+		writeAPIError(w, http.StatusBadRequest, codeInvalidBody, "missing \"experiment\" field")
 		return
 	}
 	if !knownExperiment(req.Experiment) {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment))
+		writeAPIErrorf(w, http.StatusBadRequest, codeUnknownExperiment,
+			"unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment)
 		return
 	}
 	cfg := req.Config
@@ -353,7 +377,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, err := cfg.Normalized()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, http.StatusBadRequest, codeInvalidConfig, err.Error())
 		return
 	}
 
@@ -373,12 +397,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	id, err := s.jobs.Submit(req.Experiment, s.runJob(req.Experiment, cfg, key))
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrClosed) {
-			status = http.StatusServiceUnavailable
+		status, code := http.StatusInternalServerError, codeInternal
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			status, code = http.StatusServiceUnavailable, codeQueueFull
+		case errors.Is(err, jobs.ErrClosed):
+			status, code = http.StatusServiceUnavailable, codeShuttingDown
 		}
 		s.log.Warn("job submit rejected", "experiment", req.Experiment, "error", err.Error())
-		writeError(w, status, err)
+		writeAPIError(w, status, code, err.Error())
 		return
 	}
 	evJobsStarted.Add(1)
@@ -426,21 +453,41 @@ func (s *server) runJob(expID string, cfg experiments.Config, key string) jobs.F
 	}
 }
 
+// handleListJobs serves one page of the job listing, newest first.
+// Query parameters: state= filters by lifecycle state; limit= (default
+// 50, max 1000) and offset= (default 0) paginate; total counts the
+// filtered set before pagination.
 func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q, ok := parseListQuery(w, r)
+	if !ok {
+		return
+	}
 	snaps := s.jobs.List()
+	if q.state != "" {
+		kept := snaps[:0]
+		for _, snap := range snaps {
+			if snap.State == q.state {
+				kept = append(kept, snap)
+			}
+		}
+		snaps = kept
+	}
+	sortJobsNewestFirst(snaps)
+	total := len(snaps)
+	snaps = page(snaps, q)
 	out := make([]jobPayload, 0, len(snaps))
 	for _, snap := range snaps {
 		p := snapshotPayload(snap)
 		p.Result = nil // keep the listing light; fetch one job for its result
 		out = append(out, p)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	writeJSON(w, http.StatusOK, jobListPayload{Jobs: out, Total: total, Limit: q.limit, Offset: q.offset})
 }
 
 func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeAPIError(w, http.StatusNotFound, codeJobNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotPayload(snap))
@@ -451,7 +498,7 @@ func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeAPIError(w, http.StatusNotFound, codeJobNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, progressOf(snap))
@@ -463,8 +510,8 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	trace, ok := s.traces.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound,
-			errors.New("no trace for this job id (traces exist once a job starts running)"))
+		writeAPIError(w, http.StatusNotFound, codeTraceNotFound,
+			"no trace for this job id (traces exist once a job starts running)")
 		return
 	}
 	writeJSON(w, http.StatusOK, trace.Snapshot())
@@ -473,13 +520,13 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.jobs.Get(id); !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeAPIError(w, http.StatusNotFound, codeJobNotFound, "no such job")
 		return
 	}
 	was, ok := s.jobs.Cancel(id)
 	if !ok {
 		snap, _ := s.jobs.Get(id)
-		writeError(w, http.StatusConflict, fmt.Errorf("job already %s", snap.State))
+		writeAPIErrorf(w, http.StatusConflict, codeJobNotCancellable, "job already %s", snap.State)
 		return
 	}
 	s.log.Info("job cancel requested", "job", id, "was", string(was))
@@ -527,8 +574,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

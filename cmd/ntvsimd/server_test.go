@@ -94,15 +94,42 @@ func TestListExperiments(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	ids, _ := out["experiments"].([]any)
+	objs, _ := out["experiments"].([]any)
 	found := false
+	for _, item := range objs {
+		obj, _ := item.(map[string]any)
+		if obj["id"] != "fig4" {
+			continue
+		}
+		found = true
+		if obj["kind"] != "architecture" {
+			t.Errorf("fig4 kind = %v", obj["kind"])
+		}
+		if desc, _ := obj["description"].(string); desc == "" {
+			t.Error("fig4 has no description")
+		}
+		if n, _ := obj["default_samples"].(float64); n <= 0 {
+			t.Errorf("fig4 default_samples = %v", obj["default_samples"])
+		}
+	}
+	if !found {
+		t.Errorf("fig4 missing from %v", objs)
+	}
+
+	// Deprecated bare-id listing stays available under ?format=ids.
+	code, out = doJSON(t, http.MethodGet, ts.URL+"/v1/experiments?format=ids", nil)
+	if code != http.StatusOK {
+		t.Fatalf("format=ids: status %d", code)
+	}
+	ids, _ := out["experiments"].([]any)
+	found = false
 	for _, id := range ids {
 		if id == "fig4" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("fig4 missing from %v", ids)
+		t.Errorf("fig4 missing from id listing %v", ids)
 	}
 }
 
@@ -193,22 +220,23 @@ func TestCancelStopsWork(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t)
 	cases := []struct {
-		name string
-		body any
-		want int
+		name     string
+		body     any
+		want     int
+		wantCode string
 	}{
-		{"unknown experiment", map[string]any{"experiment": "fig99"}, http.StatusBadRequest},
-		{"missing experiment", map[string]any{}, http.StatusBadRequest},
+		{"unknown experiment", map[string]any{"experiment": "fig99"}, http.StatusBadRequest, "unknown_experiment"},
+		{"missing experiment", map[string]any{}, http.StatusBadRequest, "invalid_body"},
 		{"negative samples", map[string]any{
 			"experiment": "fig4",
 			"config":     map[string]any{"chip_samples": -5},
-		}, http.StatusBadRequest},
+		}, http.StatusBadRequest, "invalid_config"},
 	}
 	for _, tc := range cases {
 		if code, out := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", tc.body); code != tc.want {
 			t.Errorf("%s: status %d (%v), want %d", tc.name, code, out, tc.want)
-		} else if out["error"] == "" {
-			t.Errorf("%s: no error message", tc.name)
+		} else if got := errCode(out); got != tc.wantCode {
+			t.Errorf("%s: error code %q, want %q", tc.name, got, tc.wantCode)
 		}
 	}
 

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPSmoke builds the real ntvsimd binary, boots it on a free
+// port, drives it with a Go HTTP client — a tiny sweep to a merged
+// result, plus a malformed request asserting the invalid_body envelope
+// — and shuts it down. It exercises the shipped artifact rather than an
+// in-process handler, so it is gated behind NTVSIMD_SMOKE=1 and run as
+// a dedicated CI job.
+func TestHTTPSmoke(t *testing.T) {
+	if os.Getenv("NTVSIMD_SMOKE") != "1" {
+		t.Skip("set NTVSIMD_SMOKE=1 to run the binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "ntvsimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve a free port, release it, and hand it to the daemon. The
+	// race window is negligible for a single-process test host.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "2", "-log-level", "warn")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	// Wait for the listener.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Malformed request → typed invalid_body envelope.
+	code, out := post("/v1/sweeps", "{broken")
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed POST: status %d (%v)", code, out)
+	}
+	env, _ := out["error"].(map[string]any)
+	if env["code"] != "invalid_body" {
+		t.Fatalf("malformed POST envelope: %v", out)
+	}
+	if msg, _ := env["message"].(string); msg == "" {
+		t.Fatal("malformed POST envelope has no message")
+	}
+
+	// Tiny sweep → merged result with all shards done.
+	code, out = post("/v1/sweeps", `{
+		"metric": "gate3sigma",
+		"nodes": ["90nm GP"],
+		"vdd": {"from": 0.50, "to": 0.60, "step": 0.05},
+		"samples": [100]
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep POST: status %d (%v)", code, out)
+	}
+	id, _ := out["id"].(string)
+
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = map[string]any{}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state, _ := out["state"].(string); state == "done" {
+			break
+		} else if state == "failed" || state == "cancelled" {
+			t.Fatalf("sweep finished as %s: %v", state, out["shards"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished: %v", out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	res, _ := out["result"].(map[string]any)
+	if res == nil || res["id"] != "sweep/gate3sigma" {
+		t.Fatalf("merged result payload: %v", out["result"])
+	}
+	render, _ := res["render"].(string)
+	if !strings.Contains(render, "3 grid points") || !strings.Contains(render, "90nm GP") {
+		t.Fatalf("merged render: %q", render)
+	}
+
+	// The sweep metrics are visible on /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"ntvsim_sweep_shards_total 3",
+		"ntvsim_sweep_shards_completed 3",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -21,6 +20,29 @@ type doneEvent struct {
 	Error string `json:"error,omitempty"`
 }
 
+// sseStream upgrades the response to a Server-Sent Events stream and
+// returns the emit function. An error envelope has already been written
+// when ok is false.
+func sseStream(w http.ResponseWriter) (emit func(event string, payload any), ok bool) {
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeAPIError(w, http.StatusInternalServerError, codeStreamingUnsupported, "streaming unsupported")
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	return func(event string, payload any) {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}, true
+}
+
 // handleEvents streams one job's lifecycle as Server-Sent Events:
 //
 //	event: progress   data: progressPayload   (whenever samples-done moves)
@@ -33,26 +55,12 @@ type doneEvent struct {
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.jobs.Get(id); !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeAPIError(w, http.StatusNotFound, codeJobNotFound, "no such job")
 		return
 	}
-	flusher, ok := w.(http.Flusher)
+	emit, ok := sseStream(w)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	emit := func(event string, payload any) {
-		data, err := json.Marshal(payload)
-		if err != nil {
-			return
-		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
-		flusher.Flush()
 	}
 
 	var (

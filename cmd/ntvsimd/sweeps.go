@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+// sweepPayload is the wire form of a sweep (POST and GET responses).
+// Results holds the merged-so-far grid points of completed shards, so a
+// mid-run GET sees partial results; Result is the fully merged artifact
+// of a done sweep.
+type sweepPayload struct {
+	ID         string                `json:"id"`
+	State      sweep.State           `json:"state"`
+	Spec       sweep.Spec            `json:"spec"`
+	Total      int                   `json:"total"`
+	Completed  int                   `json:"completed"`
+	Cached     int                   `json:"cached"`
+	Failed     int                   `json:"failed,omitempty"`
+	Cancelled  int                   `json:"cancelled,omitempty"`
+	CreatedAt  *time.Time            `json:"created_at,omitempty"`
+	FinishedAt *time.Time            `json:"finished_at,omitempty"`
+	Shards     []sweep.ShardSnapshot `json:"shards,omitempty"`
+	Results    []sweep.PointResult   `json:"results,omitempty"`
+	Result     *resultPayload        `json:"result,omitempty"`
+}
+
+// sweepListPayload is the typed GET /v1/sweeps response, newest first.
+// Listing entries omit shards and point results; fetch one sweep for
+// its detail.
+type sweepListPayload struct {
+	Sweeps []sweepPayload `json:"sweeps"`
+	Total  int            `json:"total"`
+}
+
+// sweepProgressPayload is the data of sweep SSE progress events: shard
+// completion counts, not Monte-Carlo sample counts.
+type sweepProgressPayload struct {
+	ID        string      `json:"id"`
+	State     sweep.State `json:"state"`
+	Total     int         `json:"total"`
+	Completed int         `json:"completed"`
+	Cached    int         `json:"cached"`
+}
+
+// sweepPayloadOf converts a snapshot. detail controls whether per-shard
+// states and partial results are included (single-sweep GET) or elided
+// (listings).
+func sweepPayloadOf(sw *sweep.Sweep, snap sweep.Snapshot, detail bool) sweepPayload {
+	p := sweepPayload{
+		ID:        snap.ID,
+		State:     snap.State,
+		Spec:      snap.Spec,
+		Total:     snap.Total,
+		Completed: snap.Completed,
+		Cached:    snap.Cached,
+		Failed:    snap.Failed,
+		Cancelled: snap.Cancelled,
+	}
+	if !snap.Created.IsZero() {
+		t := snap.Created
+		p.CreatedAt = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		p.FinishedAt = &t
+	}
+	if detail {
+		p.Shards = snap.Shards
+		p.Results = snap.Results
+		if res, ok := sw.Result(); ok {
+			p.Result = renderResult(res)
+		}
+	}
+	return p
+}
+
+// handleSubmitSweep validates and starts a sweep. Unlike POST /v1/jobs,
+// a fully cached resubmission still creates a sweep — its shards all
+// finish as cache hits near-instantly and the response reports them in
+// the cached count.
+func (s *server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody, "invalid JSON body: %v", err)
+		return
+	}
+	sw, err := s.sweeps.Submit(spec)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, codeInvalidSweep, err.Error())
+		return
+	}
+	snap := sw.Snapshot()
+	s.log.Info("sweep submitted", "sweep", sw.ID, "kernel", snap.Spec, "shards", snap.Total)
+	writeJSON(w, http.StatusAccepted, sweepPayloadOf(sw, snap, false))
+}
+
+// handleListSweeps lists all known sweeps, newest first.
+func (s *server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	snaps := s.sweeps.List()
+	out := make([]sweepPayload, 0, len(snaps))
+	for _, snap := range snaps {
+		sw, ok := s.sweeps.Get(snap.ID)
+		if !ok {
+			continue
+		}
+		out = append(out, sweepPayloadOf(sw, snap, false))
+	}
+	writeJSON(w, http.StatusOK, sweepListPayload{Sweeps: out, Total: len(out)})
+}
+
+// handleGetSweep serves one sweep with per-shard states and the
+// merged-so-far partial results; a done sweep includes its full merged
+// artifact.
+func (s *server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, codeSweepNotFound, "no such sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepPayloadOf(sw, sw.Snapshot(), true))
+}
+
+// handleCancelSweep cancels every non-terminal shard of a sweep.
+func (s *server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sw, ok := s.sweeps.Get(id)
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, codeSweepNotFound, "no such sweep")
+		return
+	}
+	if !sw.Cancel() {
+		writeAPIErrorf(w, http.StatusConflict, codeSweepNotCancellable,
+			"sweep already %s", sw.Snapshot().State)
+		return
+	}
+	s.log.Info("sweep cancel requested", "sweep", id)
+	writeJSON(w, http.StatusOK, sweepPayloadOf(sw, sw.Snapshot(), true))
+}
+
+// handleSweepEvents streams a sweep's lifecycle as Server-Sent Events,
+// mirroring the per-job stream:
+//
+//	event: progress   data: sweepProgressPayload  (whenever a shard finishes)
+//	event: done       data: doneEvent             (exactly once, then the stream closes)
+//
+// A terminal sweep yields an immediate done event.
+func (s *server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sw, ok := s.sweeps.Get(id)
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, codeSweepNotFound, "no such sweep")
+		return
+	}
+	emit, ok := sseStream(w)
+	if !ok {
+		return
+	}
+	lastCompleted := -1
+	ticker := time.NewTicker(ssePollInterval)
+	defer ticker.Stop()
+	for {
+		snap := sw.Snapshot()
+		if finished := snap.Completed + snap.Failed + snap.Cancelled; finished != lastCompleted {
+			lastCompleted = finished
+			emit("progress", sweepProgressPayload{
+				ID: id, State: snap.State, Total: snap.Total,
+				Completed: snap.Completed, Cached: snap.Cached,
+			})
+		}
+		if snap.State.Terminal() {
+			emit("done", doneEvent{ID: id, State: string(snap.State)})
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

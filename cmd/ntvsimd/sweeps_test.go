@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySweep is a 1 node × 3 voltages × 1 samples = 3-shard metric sweep
+// sized for fast end-to-end tests.
+var tinySweep = map[string]any{
+	"metric":  "chain3sigma",
+	"nodes":   []string{"90nm GP"},
+	"vdd":     map[string]any{"from": 0.50, "to": 0.60, "step": 0.05},
+	"samples": []int{150},
+	"seed":    20120603,
+}
+
+// pollSweepDone polls GET /v1/sweeps/{id} until the sweep is terminal.
+func pollSweepDone(t *testing.T, base, id string, timeout time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		code, sw := doJSON(t, http.MethodGet, base+"/v1/sweeps/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET sweep: status %d (%v)", code, sw)
+		}
+		switch sw["state"] {
+		case "done", "failed", "cancelled":
+			return sw
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s not terminal after %v", id, timeout)
+	return nil
+}
+
+// TestSweepEndToEnd is the HTTP acceptance walkthrough: POST a sweep,
+// watch shards complete, read the merged typed result, then resubmit
+// the identical spec and require every shard to be a cache hit.
+func TestSweepEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, out := doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", tinySweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d (%v)", code, out)
+	}
+	id, _ := out["id"].(string)
+	if id == "" || out["state"] != "running" || out["total"].(float64) != 3 {
+		t.Fatalf("POST response %v", out)
+	}
+	// The normalized spec is echoed back with defaults filled in.
+	spec, _ := out["spec"].(map[string]any)
+	if spec["metric"] != "chain3sigma" || spec["seed"].(float64) != 20120603 {
+		t.Errorf("echoed spec %v", spec)
+	}
+
+	sw := pollSweepDone(t, ts.URL, id, 2*time.Minute)
+	if sw["state"] != "done" {
+		t.Fatalf("sweep finished as %v: %v", sw["state"], sw["shards"])
+	}
+	if sw["completed"].(float64) != 3 || sw["cached"].(float64) != 0 {
+		t.Errorf("completed=%v cached=%v", sw["completed"], sw["cached"])
+	}
+	shards, _ := sw["shards"].([]any)
+	if len(shards) != 3 {
+		t.Fatalf("%d shard snapshots", len(shards))
+	}
+	for _, item := range shards {
+		shard, _ := item.(map[string]any)
+		if shard["state"] != "done" {
+			t.Errorf("shard %v state %v", shard["index"], shard["state"])
+		}
+	}
+	points, _ := sw["results"].([]any)
+	if len(points) != 3 {
+		t.Fatalf("%d point results", len(points))
+	}
+	for i, item := range points {
+		pt, _ := item.(map[string]any)
+		if int(pt["index"].(float64)) != i {
+			t.Errorf("point %d has index %v (grid order broken)", i, pt["index"])
+		}
+		if v, _ := pt["value"].(float64); v <= 0 {
+			t.Errorf("point %d value %v", i, pt["value"])
+		}
+	}
+	res, _ := sw["result"].(map[string]any)
+	if res == nil || res["id"] != "sweep/chain3sigma" {
+		t.Fatalf("merged result payload %v", sw["result"])
+	}
+	if render, _ := res["render"].(string); !strings.Contains(render, "3 grid points") {
+		t.Errorf("merged render %q", render)
+	}
+
+	// Identical resubmission: a new sweep whose shards all hit the cache.
+	code, out = doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", tinySweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("repeat POST: status %d (%v)", code, out)
+	}
+	id2, _ := out["id"].(string)
+	if id2 == id {
+		t.Fatal("resubmission reused the sweep id")
+	}
+	sw2 := pollSweepDone(t, ts.URL, id2, 30*time.Second)
+	if sw2["state"] != "done" || sw2["cached"].(float64) != 3 {
+		t.Fatalf("resubmission not fully cached: state=%v cached=%v", sw2["state"], sw2["cached"])
+	}
+	res2, _ := sw2["result"].(map[string]any)
+	if res2["render"] != res["render"] {
+		t.Error("cached rerun renders differently")
+	}
+
+	// Both sweeps are listed, newest first, without detail payloads.
+	code, out = doJSON(t, http.MethodGet, ts.URL+"/v1/sweeps", nil)
+	if code != http.StatusOK || out["total"].(float64) != 2 {
+		t.Fatalf("listing: %d %v", code, out)
+	}
+	listed, _ := out["sweeps"].([]any)
+	first, _ := listed[0].(map[string]any)
+	if first["id"] != id2 {
+		t.Errorf("listing not newest-first: %v", first["id"])
+	}
+	if first["shards"] != nil || first["results"] != nil {
+		t.Error("listing entries should omit shard detail")
+	}
+}
+
+// TestSweepValidationAndCancel covers the invalid-spec envelope and
+// mid-run cancellation over HTTP.
+func TestSweepValidationAndCancel(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, out := doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"metric": "chain3sigma", "experiment": "fig4",
+	})
+	if code != http.StatusBadRequest || errCode(out) != "invalid_sweep" {
+		t.Errorf("ambiguous spec: %d %v", code, out)
+	}
+
+	// A sweep with one enormous shard, cancelled mid-run.
+	code, out = doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"metric":  "chain3sigma",
+		"nodes":   []string{"90nm GP"},
+		"vdd":     map[string]any{"from": 0.55, "to": 0.55, "step": 0.01},
+		"samples": []int{60_000_000},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d (%v)", code, out)
+	}
+	id, _ := out["id"].(string)
+	time.Sleep(150 * time.Millisecond) // let the shard leave the queue
+
+	start := time.Now()
+	code, out = doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps/"+id+"/cancel", nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: status %d (%v)", code, out)
+	}
+	sw := pollSweepDone(t, ts.URL, id, 30*time.Second)
+	if sw["state"] != "cancelled" {
+		t.Fatalf("state %v after cancel", sw["state"])
+	}
+	if waited := time.Since(start); waited > 15*time.Second {
+		t.Errorf("cancellation took %v; shard work did not stop", waited)
+	}
+
+	// Cancelling a finished sweep is a conflict with a typed code.
+	code, out = doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps/"+id+"/cancel", nil)
+	if code != http.StatusConflict || errCode(out) != "sweep_not_cancellable" {
+		t.Errorf("second cancel: %d %v", code, out)
+	}
+}
+
+// TestSweepEvents subscribes to the SSE stream of a running sweep and
+// expects shard-progress events followed by exactly one done event.
+func TestSweepEvents(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, out := doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", tinySweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d (%v)", code, out)
+	}
+	id, _ := out["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var events []string
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	if len(events) == 0 || events[len(events)-1] != "done" {
+		t.Fatalf("event sequence %v does not end in done", events)
+	}
+	progress := 0
+	for _, e := range events[:len(events)-1] {
+		if e != "progress" {
+			t.Errorf("unexpected event %q", e)
+		}
+		progress++
+	}
+	if progress == 0 {
+		t.Error("no progress events before done")
+	}
+
+	if code, out := doJSON(t, http.MethodGet, ts.URL+"/v1/sweeps/nope/events", nil); code != http.StatusNotFound || errCode(out) != "sweep_not_found" {
+		t.Errorf("events for unknown sweep: %d %v", code, out)
+	}
+}

@@ -10,7 +10,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("ablation", runAblation) }
+func init() {
+	register("ablation", Architecture, 6000,
+		"spare effectiveness under iid-path vs correlated-lane models (extension)", runAblation)
+}
 
 // AblationRow compares spare effectiveness under the two architecture
 // correlation models at one voltage.

@@ -14,7 +14,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("app", runApp) }
+func init() {
+	register("app", Architecture, 6000,
+		"full-voltage vs near-threshold kernel comparison across the whole stack (extension)", runApp)
+}
 
 // AppRow is one kernel's full-voltage vs near-threshold comparison.
 type AppRow struct {

@@ -13,7 +13,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("corners", runCorners) }
+func init() {
+	register("corners", Architecture, 10000,
+		"corner-based signoff margin vs the statistical 99% methodology (extension)", runCorners)
+}
 
 // CornersCell is one node × voltage signoff comparison.
 type CornersCell struct {

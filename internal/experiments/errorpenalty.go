@@ -11,7 +11,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/timingerr"
 )
 
-func init() { register("synctium", runErrorPenalty) }
+func init() {
+	register("synctium", Architecture, 0,
+		"wide-SIMD throughput collapse vs per-lane timing-error probability (Synctium motivation)", runErrorPenalty)
+}
 
 // ErrorPenaltyRow reports throughput under the three recovery policies
 // at one per-lane error probability, relative to error-free execution.

@@ -80,15 +80,49 @@ type Result interface {
 // montecarlo/simd Ctx entry points and return its error when cancelled.
 type Runner func(ctx context.Context, cfg Config) (Result, error)
 
-// registry maps experiment IDs to runners, populated by the per-artifact
-// files' init functions.
-var registry = map[string]Runner{}
+// Kind classifies what an experiment's Monte Carlo samples: individual
+// circuits (gates, FO4 chains) or whole SIMD architectures (datapaths,
+// chips).
+type Kind string
 
-func register(id string, r Runner) {
+// Experiment kinds.
+const (
+	Circuit      Kind = "circuit"
+	Architecture Kind = "architecture"
+)
+
+// Info is an experiment's registry metadata, served by the HTTP API's
+// experiment listing and used by the sweep engine to pick sample-count
+// defaults.
+type Info struct {
+	ID          string `json:"id"`
+	Kind        Kind   `json:"kind"`
+	Description string `json:"description"`
+
+	// DefaultSamples is the paper-default count of the experiment's
+	// primary Monte-Carlo knob (circuit, chip or search samples); 0 for
+	// analytic experiments that do not sample.
+	DefaultSamples int `json:"default_samples"`
+}
+
+// entry pairs a runner with its metadata in the registry.
+type entry struct {
+	info   Info
+	runner Runner
+}
+
+// registry maps experiment IDs to runners and metadata, populated by
+// the per-artifact files' init functions.
+var registry = map[string]entry{}
+
+func register(id string, kind Kind, defaultSamples int, description string, r Runner) {
 	if _, dup := registry[id]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %q", id))
 	}
-	registry[id] = r
+	registry[id] = entry{
+		info:   Info{ID: id, Kind: kind, Description: description, DefaultSamples: defaultSamples},
+		runner: r,
+	}
 }
 
 // IDs returns all experiment identifiers in sorted order.
@@ -99,6 +133,21 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// List returns every experiment's metadata, sorted by id.
+func List() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id].info)
+	}
+	return out
+}
+
+// Lookup returns the metadata of one experiment.
+func Lookup(id string) (Info, bool) {
+	e, ok := registry[id]
+	return e.info, ok
 }
 
 // Run executes the experiment with the given id.
@@ -116,7 +165,7 @@ func Run(id string, cfg Config) (Result, error) {
 // instrumented runners report per-phase spans and sample progress. An
 // uninstrumented ctx adds nothing.
 func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
-	r, ok := registry[id]
+	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
@@ -129,7 +178,7 @@ func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
 	}
 	ctx, sp := telemetry.StartSpan(ctx, "experiment/"+id)
 	defer sp.End()
-	return r(ctx, cfg)
+	return e.runner(ctx, cfg)
 }
 
 // phase starts a named phase of an experiment run: it labels the run's

@@ -13,7 +13,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/variation"
 )
 
-func init() { register("fig1", runFig1) }
+func init() {
+	register("fig1", Circuit, 1000,
+		"delay statistics of an FO4 inverter and a 50-FO4 chain vs Vdd, 90nm", runFig1)
+}
 
 // Fig1Row is one supply-voltage point of Figure 1: delay statistics of a
 // single FO4 inverter and of a 50-FO4-inverter chain in 90 nm GP.

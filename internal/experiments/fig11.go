@@ -13,7 +13,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/variation"
 )
 
-func init() { register("fig11", runFig11) }
+func init() {
+	register("fig11", Circuit, 1000,
+		"delay variation at 0.55V vs logic chain length, four nodes", runFig11)
+}
 
 // fig11Lengths is the chain-length sweep of Figure 11 (Appendix C).
 var fig11Lengths = []int{1, 2, 5, 10, 20, 50, 100, 200}

@@ -10,7 +10,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/xram"
 )
 
-func init() { register("fig12", runFig12) }
+func init() {
+	register("fig12", Architecture, 0,
+		"global vs local spare placement under lane faults", runFig12)
+}
 
 // Fig12Coverage compares placements at one lane-fault probability.
 type Fig12Coverage struct {

@@ -14,7 +14,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/variation"
 )
 
-func init() { register("fig2", runFig2) }
+func init() {
+	register("fig2", Circuit, 1000,
+		"3-sigma/mu of a 50-FO4 chain vs Vdd for the four nodes", runFig2)
+}
 
 // Fig2Series is one technology node's 3σ/μ-vs-Vdd curve for a 50-FO4
 // chain.

@@ -11,7 +11,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("fig3", runFig3) }
+func init() {
+	register("fig3", Architecture, 10000,
+		"delay distributions: path, lane and 128-wide datapath across voltages, 90nm", runFig3)
+}
 
 // Fig3Curve is one delay distribution of Figure 3, in FO4 delay units at
 // its own supply voltage (the paper's normalization).

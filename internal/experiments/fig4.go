@@ -11,7 +11,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("fig4", runFig4) }
+func init() {
+	register("fig4", Architecture, 10000,
+		"performance drop of a 128-wide SIMD datapath near threshold, four nodes", runFig4)
+}
 
 // Fig4Series is one node's performance-drop curve: the relative increase
 // of the 99 % FO4 chip delay at near-threshold voltage over the nominal

@@ -12,7 +12,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("fig5", runFig5) }
+func init() {
+	register("fig5", Architecture, 10000,
+		"delay distributions of spare-augmented SIMD systems at 0.55V, 90nm", runFig5)
+}
 
 // Fig5Result reproduces Figure 5: delay distributions of SIMD duplicated
 // systems (128-wide + α spares) at 0.55 V in 90 nm, against the 1 V

@@ -12,7 +12,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("fig6", runFig6) }
+func init() {
+	register("fig6", Architecture, 10000,
+		"voltage-margin read-off for a 128-wide datapath at 600-620mV, 45nm", runFig6)
+}
 
 // Fig6Result reproduces Figure 6: delay distributions of a 128-wide SIMD
 // datapath at 600–620 mV in 45 nm, together with spare-augmented systems

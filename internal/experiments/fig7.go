@@ -13,7 +13,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("fig7", runFig7) }
+func init() {
+	register("fig7", Architecture, 6000,
+		"power overhead: structural duplication vs voltage margining", runFig7)
+}
 
 // Fig7Point compares the two techniques at one node × voltage.
 type Fig7Point struct {

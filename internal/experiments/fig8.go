@@ -12,8 +12,10 @@ import (
 )
 
 func init() {
-	register("fig8", runFig8)
-	register("table3", runTable3)
+	register("fig8", Architecture, 10000,
+		"99% chip delay vs spare count at 600-620mV, 45nm", runFig8)
+	register("table3", Architecture, 10000,
+		"(spares, margin) combinations reaching the 600mV target delay", runTable3)
 }
 
 // Fig8Result reproduces Figure 8: the 99 % chip delay of a 128-wide

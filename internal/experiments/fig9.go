@@ -10,7 +10,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("fig9", runFig9) }
+func init() {
+	register("fig9", Circuit, 0,
+		"energy and delay vs supply across super/near/sub-threshold regions", runFig9)
+}
 
 // Fig9Result reproduces Figure 9 (Appendix A): energy and delay versus
 // supply voltage across the super-, near- and sub-threshold regions,

@@ -9,7 +9,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("itd", runITD) }
+func init() {
+	register("itd", Circuit, 0,
+		"inverse temperature dependence near threshold (extension)", runITD)
+}
 
 // ITDSeries is one node's temperature behaviour.
 type ITDSeries struct {

@@ -14,7 +14,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/variation"
 )
 
-func init() { register("ks", runKoggeStone) }
+func init() {
+	register("ks", Circuit, 1000,
+		"delay variation of Kogge-Stone adders vs inverter chains across Vdd", runKoggeStone)
+}
 
 // KSRow compares delay variation of four circuits at one voltage.
 type KSRow struct {

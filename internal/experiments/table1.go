@@ -12,7 +12,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("table1", runTable1) }
+func init() {
+	register("table1", Architecture, 6000,
+		"spare FUs required to match nominal 99% delay, with area and power", runTable1)
+}
 
 // table1Voltages is the supply-voltage column of Tables 1, 2 and 4.
 var table1Voltages = []float64{0.50, 0.55, 0.60, 0.65, 0.70}

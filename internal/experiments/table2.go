@@ -11,7 +11,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("table2", runTable2) }
+func init() {
+	register("table2", Architecture, 6000,
+		"voltage margin matching nominal variation, and its power overhead", runTable2)
+}
 
 // Table2Cell is one node × voltage entry of Table 2.
 type Table2Cell struct {

@@ -11,7 +11,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
-func init() { register("table4", runTable4) }
+func init() {
+	register("table4", Architecture, 10000,
+		"frequency margining: variation-aware clock period and performance drop", runTable4)
+}
 
 // Table4Cell is one node × voltage entry of Table 4 (Appendix E).
 type Table4Cell struct {

@@ -11,7 +11,10 @@ import (
 	"github.com/ntvsim/ntvsim/internal/yield"
 )
 
-func init() { register("yield", runYield) }
+func init() {
+	register("yield", Architecture, 10000,
+		"parametric yield curves at 0.55V, 90nm: base vs 8 spare lanes (extension)", runYield)
+}
 
 // YieldResult is an extension beyond the paper: it generalizes the 99 %
 // design point into full parametric-yield curves — the fraction of

@@ -1,0 +1,480 @@
+package sweep
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
+)
+
+// Shard-level service metrics, exposed on GET /metrics.
+var (
+	mShardsTotal = telemetry.Default.Counter("ntvsim_sweep_shards_total",
+		"Grid shards created by submitted sweeps.")
+	mShardsCompleted = telemetry.Default.Counter("ntvsim_sweep_shards_completed",
+		"Sweep shards finished successfully, including cache hits.")
+	mShardsCached = telemetry.Default.Counter("ntvsim_sweep_shards_cached",
+		"Sweep shards served from the result cache without recomputation.")
+)
+
+// State is a sweep's lifecycle state.
+type State string
+
+// Sweep lifecycle states. A sweep is Done only when every shard
+// completed; any failed shard fails the sweep, and cancellation wins
+// over failure.
+const (
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// ShardState is one shard's lifecycle state. Cached shards finish as
+// ShardDone with Cached set in their snapshot.
+type ShardState string
+
+// Shard lifecycle states.
+const (
+	ShardPending   ShardState = "pending" // not yet handed to the worker pool
+	ShardQueued    ShardState = "queued"
+	ShardRunning   ShardState = "running"
+	ShardDone      ShardState = "done"
+	ShardFailed    ShardState = "failed"
+	ShardCancelled ShardState = "cancelled"
+)
+
+func (s ShardState) terminal() bool {
+	return s == ShardDone || s == ShardFailed || s == ShardCancelled
+}
+
+// ShardSnapshot is one shard's externally visible state.
+type ShardSnapshot struct {
+	Index  int        `json:"index"`
+	State  ShardState `json:"state"`
+	Cached bool       `json:"cached"`
+	JobID  string     `json:"job_id,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a sweep's externally visible
+// state. Results holds the merged-so-far point outputs in grid order —
+// completed shards only — so partial results are visible mid-run.
+type Snapshot struct {
+	ID        string
+	State     State
+	Spec      Spec
+	Shards    []ShardSnapshot
+	Results   []PointResult
+	Created   time.Time
+	Finished  time.Time // zero until terminal
+	Total     int
+	Completed int // shards done, including cached
+	Cached    int // subset of Completed served from the cache
+	Failed    int
+	Cancelled int
+}
+
+// Engine expands sweeps into shards and runs them on a shared
+// internal/jobs worker pool, with shard outputs content-addressed in a
+// shared result cache. All methods are safe for concurrent use.
+type Engine struct {
+	jobs   *jobs.Manager
+	cache  *resultcache.Cache[experiments.Result]
+	traces *telemetry.TraceStore // optional; shard runs record spans when set
+
+	mu     sync.Mutex
+	sweeps map[string]*Sweep
+	order  []string // submission order, for newest-first listing
+}
+
+// NewEngine returns an Engine executing on m and caching shard outputs
+// in cache. traces is optional: when non-nil, each shard's run records
+// a span tree retrievable by its job id.
+func NewEngine(m *jobs.Manager, cache *resultcache.Cache[experiments.Result], traces *telemetry.TraceStore) *Engine {
+	return &Engine{jobs: m, cache: cache, traces: traces, sweeps: make(map[string]*Sweep)}
+}
+
+// Sweep is one submitted sweep's live state.
+type Sweep struct {
+	ID      string
+	eng     *Engine
+	spec    Spec // normalized
+	points  []Point
+	ctx     context.Context
+	cancel  context.CancelFunc
+	created time.Time
+
+	mu        sync.Mutex
+	state     State
+	finished  time.Time
+	shards    []shardState
+	results   []*ShardResult // grid-indexed; nil until the shard completes
+	remaining int
+	doneCh    chan struct{}
+	progress  *telemetry.Progress // done = completed shards, total = grid size
+}
+
+// shardState is one shard's mutable bookkeeping; Sweep.mu guards it.
+type shardState struct {
+	state  ShardState
+	cached bool
+	jobID  string
+	err    string
+}
+
+// Submit validates and expands spec, registers the sweep and starts its
+// dispatcher. Shards begin executing immediately; watch progress via
+// Snapshot or wait on Done.
+func (e *Engine) Submit(spec Spec) (*Sweep, error) {
+	ns, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	points := ns.Grid()
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := &Sweep{
+		ID:      newSweepID(),
+		eng:     e,
+		spec:    ns,
+		points:  points,
+		ctx:     ctx,
+		cancel:  cancel,
+		created: time.Now(),
+		state:   Running,
+		shards:  make([]shardState, len(points)),
+		results: make([]*ShardResult, len(points)),
+
+		remaining: len(points),
+		doneCh:    make(chan struct{}),
+		progress:  telemetry.NewProgress(),
+	}
+	for i := range sw.shards {
+		sw.shards[i].state = ShardPending
+	}
+	sw.progress.AddTotal(int64(len(points)))
+	e.mu.Lock()
+	e.sweeps[sw.ID] = sw
+	e.order = append(e.order, sw.ID)
+	e.mu.Unlock()
+	mShardsTotal.Add(float64(len(points)))
+	go sw.dispatch()
+	return sw, nil
+}
+
+// Get returns the sweep with the given id.
+func (e *Engine) Get(id string) (*Sweep, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sw, ok := e.sweeps[id]
+	return sw, ok
+}
+
+// List returns snapshots of all known sweeps, newest first.
+func (e *Engine) List() []Snapshot {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	sweeps := make([]*Sweep, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		sweeps = append(sweeps, e.sweeps[ids[i]])
+	}
+	e.mu.Unlock()
+	out := make([]Snapshot, 0, len(sweeps))
+	for _, sw := range sweeps {
+		out = append(out, sw.Snapshot())
+	}
+	return out
+}
+
+// dispatch is the sweep's feeder goroutine: it walks the grid in index
+// order, serving shards from the cache where possible and submitting
+// the rest to the worker pool, retrying with backoff while the
+// pool's queue is full.
+func (sw *Sweep) dispatch() {
+	for idx := range sw.points {
+		if sw.ctx.Err() != nil {
+			sw.finishShard(idx, ShardCancelled, nil, context.Canceled)
+			continue
+		}
+		pt := sw.points[idx]
+		key := keyOf(sw.spec, pt)
+		if cached, ok := sw.eng.cache.Get(key); ok {
+			if sr, ok := cached.(*ShardResult); ok {
+				sw.mu.Lock()
+				sw.shards[idx].cached = true
+				sw.mu.Unlock()
+				mShardsCached.Inc()
+				sw.finishShard(idx, ShardDone, sr, nil)
+				continue
+			}
+			// A foreign value under our key: fall through and recompute.
+		}
+		sw.submitShard(idx, key)
+	}
+}
+
+// submitShard hands one shard to the worker pool, waiting out a full
+// queue. The shard's job func performs the evaluation, caches the
+// output and finalizes the shard.
+func (sw *Sweep) submitShard(idx int, key string) {
+	pt := sw.points[idx]
+	name := fmt.Sprintf("sweep:%s#%d", sw.ID, idx)
+	fn := func(ctx context.Context) (any, error) {
+		sw.markRunning(idx)
+		// Tie the shard to the sweep's context as well as the job's own:
+		// sweep-level cancellation reaches a shard even if the per-job
+		// Cancel raced with its submission.
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(sw.ctx, cancel)
+		defer stop()
+		if sw.eng.traces != nil {
+			var trace *telemetry.Trace
+			ctx, trace = sw.eng.traces.Start(ctx, jobs.ContextID(ctx))
+			defer trace.Finish()
+		}
+		spanCtx, sp := telemetry.StartSpan(ctx, fmt.Sprintf("sweep/%s/shard/%d", sw.ID, idx))
+		sr, err := evalPoint(spanCtx, sw.spec, pt)
+		sp.End()
+		switch {
+		case ctx.Err() != nil:
+			sw.finishShard(idx, ShardCancelled, nil, context.Canceled)
+			return nil, context.Canceled
+		case err != nil:
+			sw.finishShard(idx, ShardFailed, nil, err)
+			return nil, err
+		default:
+			sw.eng.cache.Put(key, sr)
+			sw.finishShard(idx, ShardDone, sr, nil)
+			return sr, nil
+		}
+	}
+	for {
+		id, err := sw.eng.jobs.Submit(name, fn)
+		switch {
+		case err == nil:
+			sw.mu.Lock()
+			// The job func may already have run (and finalized the shard)
+			// by the time Submit returns; don't regress the state.
+			if sw.shards[idx].state == ShardPending {
+				sw.shards[idx].state = ShardQueued
+			}
+			sw.shards[idx].jobID = id
+			sw.mu.Unlock()
+			return
+		case errors.Is(err, jobs.ErrQueueFull):
+			select {
+			case <-sw.ctx.Done():
+				sw.finishShard(idx, ShardCancelled, nil, context.Canceled)
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		default: // ErrClosed or other terminal submit failure
+			sw.finishShard(idx, ShardFailed, nil, err)
+			return
+		}
+	}
+}
+
+// markRunning flips a shard to running when its job func starts.
+func (sw *Sweep) markRunning(idx int) {
+	sw.mu.Lock()
+	if !sw.shards[idx].state.terminal() {
+		sw.shards[idx].state = ShardRunning
+	}
+	sw.mu.Unlock()
+}
+
+// finishShard records a shard's terminal state exactly once and
+// finalizes the sweep when the last shard lands.
+func (sw *Sweep) finishShard(idx int, state ShardState, sr *ShardResult, err error) {
+	sw.mu.Lock()
+	if sw.shards[idx].state.terminal() {
+		sw.mu.Unlock()
+		return
+	}
+	sw.shards[idx].state = state
+	if err != nil {
+		sw.shards[idx].err = err.Error()
+	}
+	if state == ShardDone {
+		sw.results[idx] = sr
+		mShardsCompleted.Inc()
+	}
+	sw.progress.Add(1)
+	sw.remaining--
+	last := sw.remaining == 0
+	if last {
+		sw.finalizeLocked()
+	}
+	sw.mu.Unlock()
+}
+
+// finalizeLocked computes the sweep's terminal state; callers hold
+// sw.mu.
+func (sw *Sweep) finalizeLocked() {
+	anyFailed, anyCancelled := false, false
+	for i := range sw.shards {
+		switch sw.shards[i].state {
+		case ShardFailed:
+			anyFailed = true
+		case ShardCancelled:
+			anyCancelled = true
+		}
+	}
+	switch {
+	case anyCancelled:
+		sw.state = Cancelled
+	case anyFailed:
+		sw.state = Failed
+	default:
+		sw.state = Done
+	}
+	sw.finished = time.Now()
+	sw.cancel() // release the context
+	close(sw.doneCh)
+}
+
+// Cancel requests cancellation of every non-terminal shard: pending
+// shards never run, queued shards are withdrawn from the pool, running
+// shards stop at their next Monte-Carlo cancellation poll. It reports
+// whether the sweep was still cancellable.
+func (sw *Sweep) Cancel() bool {
+	sw.mu.Lock()
+	if sw.state.Terminal() {
+		sw.mu.Unlock()
+		return false
+	}
+	sw.mu.Unlock()
+
+	// Cancel the sweep context first: the dispatcher stops submitting,
+	// and already-running shards observe it through their merged
+	// contexts even if the per-job Cancel below races.
+	sw.cancel()
+	sw.mu.Lock()
+	jobIDs := make([]string, 0, len(sw.shards))
+	for i := range sw.shards {
+		if !sw.shards[i].state.terminal() && sw.shards[i].jobID != "" {
+			jobIDs = append(jobIDs, sw.shards[i].jobID)
+		}
+	}
+	sw.mu.Unlock()
+	for _, id := range jobIDs {
+		if was, ok := sw.eng.jobs.Cancel(id); ok && was == jobs.Queued {
+			// The job func never runs for a queued job, so finalize its
+			// shard here; running shards finalize in their own func.
+			if idx, ok := sw.shardIndexByJob(id); ok {
+				sw.finishShard(idx, ShardCancelled, nil, context.Canceled)
+			}
+		}
+	}
+	return true
+}
+
+// shardIndexByJob maps a worker-pool job id back to its shard index.
+func (sw *Sweep) shardIndexByJob(jobID string) (int, bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for i := range sw.shards {
+		if sw.shards[i].jobID == jobID {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Cancel cancels the sweep with the given id; it reports whether the
+// sweep exists and was still cancellable.
+func (e *Engine) Cancel(id string) (bool, bool) {
+	sw, ok := e.Get(id)
+	if !ok {
+		return false, false
+	}
+	return sw.Cancel(), true
+}
+
+// Done returns a channel closed when the sweep reaches a terminal
+// state.
+func (sw *Sweep) Done() <-chan struct{} { return sw.doneCh }
+
+// Spec returns the sweep's normalized spec.
+func (sw *Sweep) Spec() Spec { return sw.spec }
+
+// Progress returns the sweep's shard-completion progress snapshot
+// (done = finished shards, total = grid size).
+func (sw *Sweep) Progress() telemetry.ProgressSnapshot { return sw.progress.Snapshot() }
+
+// Snapshot returns the sweep's externally visible state, including the
+// merged-so-far results of completed shards in grid order.
+func (sw *Sweep) Snapshot() Snapshot {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	snap := Snapshot{
+		ID:       sw.ID,
+		State:    sw.state,
+		Spec:     sw.spec,
+		Created:  sw.created,
+		Finished: sw.finished,
+		Total:    len(sw.points),
+	}
+	snap.Shards = make([]ShardSnapshot, len(sw.shards))
+	for i := range sw.shards {
+		s := &sw.shards[i]
+		snap.Shards[i] = ShardSnapshot{
+			Index: i, State: s.state, Cached: s.cached, JobID: s.jobID, Error: s.err,
+		}
+		switch s.state {
+		case ShardDone:
+			snap.Completed++
+			if s.cached {
+				snap.Cached++
+			}
+		case ShardFailed:
+			snap.Failed++
+		case ShardCancelled:
+			snap.Cancelled++
+		}
+	}
+	for i, sr := range sw.results {
+		if sr == nil {
+			continue
+		}
+		pr := PointResult{Point: sw.points[i], Value: sr.Value, Render: sr.Text}
+		snap.Results = append(snap.Results, pr)
+	}
+	sort.Slice(snap.Results, func(i, j int) bool { return snap.Results[i].Index < snap.Results[j].Index })
+	return snap
+}
+
+// Result returns the merged grid-ordered Result of a Done sweep; it
+// reports false while the sweep is unfinished, failed or cancelled.
+func (sw *Sweep) Result() (*Result, bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.state != Done {
+		return nil, false
+	}
+	return merge(sw.spec, sw.points, sw.results), true
+}
+
+// newSweepID returns a 16-hex-digit random sweep id with a "sw" prefix
+// so sweep and job ids are visually distinct in logs and listings.
+func newSweepID() string {
+	var b [7]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "sw" + hex.EncodeToString([]byte(time.Now().Format("050405.0000000")))[:14]
+	}
+	return "sw" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"context"
+	"sort"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/simd"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+	"github.com/ntvsim/ntvsim/internal/variation"
+)
+
+// Kernel is a parameterizable scalar metric evaluated at one grid
+// point. Unlike the fixed figure reproductions, a kernel takes the full
+// (node, Vdd, samples, seed) coordinate, so the sweep engine can grid
+// it freely.
+type Kernel struct {
+	ID          string
+	Kind        experiments.Kind
+	Description string
+	Unit        string // unit of the scalar, e.g. "%" or "FO4"
+
+	// DefaultSamples fills an omitted samples axis.
+	DefaultSamples int
+
+	// Eval computes the metric. It must be a pure function of its
+	// arguments (deterministic seeded sampling) and honor ctx through
+	// the montecarlo/simd Ctx entry points.
+	Eval func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error)
+}
+
+// kernels is the metric registry, keyed by id.
+var kernels = map[string]Kernel{}
+
+func registerKernel(k Kernel) {
+	if _, dup := kernels[k.ID]; dup {
+		panic("sweep: duplicate kernel " + k.ID)
+	}
+	kernels[k.ID] = k
+}
+
+// KernelIDs returns the registered metric ids in sorted order.
+func KernelIDs() []string {
+	ids := make([]string, 0, len(kernels))
+	for id := range kernels {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Kernels returns the registered metric kernels sorted by id.
+func Kernels() []Kernel {
+	out := make([]Kernel, 0, len(kernels))
+	for _, id := range KernelIDs() {
+		out = append(out, kernels[id])
+	}
+	return out
+}
+
+func init() {
+	registerKernel(Kernel{
+		ID:   "chain3sigma",
+		Kind: experiments.Circuit, Unit: "%", DefaultSamples: 1000,
+		Description: "3-sigma/mu (%) of a 50-FO4 inverter-chain delay (Figure 2 generalized)",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error) {
+			sampler := variation.NewSampler(node.Dev, node.Var)
+			xs, err := montecarlo.SampleCtx(ctx, seed, samples, func(r *rng.Stream) float64 {
+				return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
+			})
+			if err != nil {
+				return 0, err
+			}
+			return stats.ThreeSigmaOverMu(xs), nil
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "gate3sigma",
+		Kind: experiments.Circuit, Unit: "%", DefaultSamples: 1000,
+		Description: "3-sigma/mu (%) of a single FO4 inverter delay",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error) {
+			sampler := variation.NewSampler(node.Dev, node.Var)
+			xs, err := montecarlo.SampleCtx(ctx, seed, samples, func(r *rng.Stream) float64 {
+				return sampler.FreshGateDelay(r, vdd)
+			})
+			if err != nil {
+				return 0, err
+			}
+			return stats.ThreeSigmaOverMu(xs), nil
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "p99chipclock",
+		Kind: experiments.Architecture, Unit: "FO4", DefaultSamples: 10000,
+		Description: "99%-yield clock of a 128-wide SIMD datapath, in nominal FO4 units",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error) {
+			return simd.New(node).P99ChipDelayFO4Ctx(ctx, seed, samples, vdd, 0)
+		},
+	})
+}

@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/report"
+	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+// PointResult is one grid point's merged output: its coordinate plus
+// the kernel value (metric sweeps) or the rendered artifact (experiment
+// sweeps). It carries no execution metadata (cache or scheduling
+// state), so the merged result of a sharded run is byte-identical to a
+// serial one.
+type PointResult struct {
+	Point
+	Value  float64 `json:"value"`
+	Render string  `json:"render,omitempty"`
+}
+
+// Result is the merged output of a sweep, points in grid order.
+// It implements experiments.Result (and the CSVer/JSONer wire
+// interfaces for metric sweeps), so existing renderers and artifact
+// writers work unchanged.
+type Result struct {
+	Kernel string        `json:"kernel"` // metric or experiment id
+	Unit   string        `json:"unit,omitempty"`
+	Seed   uint64        `json:"seed"`
+	Points []PointResult `json:"points"`
+}
+
+// ID implements experiments.Result.
+func (r *Result) ID() string { return "sweep/" + r.Kernel }
+
+// Render implements experiments.Result with one table row per grid
+// point.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep of %s over %d grid points (seed %d)\n", r.Kernel, len(r.Points), r.Seed)
+	if r.Unit != "" || (len(r.Points) > 0 && r.Points[0].Node != "") {
+		value := "value"
+		if r.Unit != "" {
+			value = fmt.Sprintf("value (%s)", r.Unit)
+		}
+		t := report.NewTable("", "#", "node", "Vdd", "samples", value)
+		for _, p := range r.Points {
+			t.AddRowf(strconv.Itoa(p.Index), p.Node,
+				fmt.Sprintf("%.3f V", p.Vdd), strconv.Itoa(p.Samples),
+				fmt.Sprintf("%.6g", p.Value))
+		}
+		b.WriteString(t.String())
+		return b.String()
+	}
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "--- point %d: %d samples ---\n%s\n", p.Index, p.Samples, p.Render)
+	}
+	return b.String()
+}
+
+// CSV implements experiments.CSVer for metric sweeps.
+func (r *Result) CSV() [][]string {
+	rows := [][]string{{"index", "node", "vdd_v", "samples", "value"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Index), p.Node,
+			strconv.FormatFloat(p.Vdd, 'g', -1, 64),
+			strconv.Itoa(p.Samples),
+			strconv.FormatFloat(p.Value, 'g', -1, 64),
+		})
+	}
+	return rows
+}
+
+// JSON implements experiments.JSONer: the Result itself is the wire
+// payload.
+func (r *Result) JSON() any { return r }
+
+// shardKey is the content-addressed cache identity of one shard. The
+// version tag guards against payload-shape changes across releases.
+type shardKey struct {
+	V       string  `json:"v"`
+	Kernel  string  `json:"kernel"`
+	Node    string  `json:"node,omitempty"`
+	Vdd     float64 `json:"vdd,omitempty"`
+	Samples int     `json:"samples"`
+	Seed    uint64  `json:"seed"`
+}
+
+// keyOf returns the shard's result-cache key.
+func keyOf(spec Spec, pt Point) string {
+	return resultcache.Key(shardKey{
+		V: "sweep-shard/v1", Kernel: spec.id(),
+		Node: pt.Node, Vdd: pt.Vdd, Samples: pt.Samples, Seed: pt.Seed,
+	})
+}
+
+// ShardResult is one shard's computed output, wrapped as an
+// experiments.Result so it can live in the service's shared result
+// cache alongside whole-experiment results.
+type ShardResult struct {
+	Kernel string  `json:"kernel"`
+	Point  Point   `json:"point"`
+	Value  float64 `json:"value"`
+	Text   string  `json:"render,omitempty"` // experiment shards only
+}
+
+// ID implements experiments.Result.
+func (r *ShardResult) ID() string { return "sweep-shard/" + r.Kernel }
+
+// Render implements experiments.Result.
+func (r *ShardResult) Render() string {
+	if r.Text != "" {
+		return r.Text
+	}
+	return fmt.Sprintf("%s(node=%s, vdd=%.3f, samples=%d) = %.6g\n",
+		r.Kernel, r.Point.Node, r.Point.Vdd, r.Point.Samples, r.Value)
+}
+
+// evalPoint computes one grid point under ctx. It is the single
+// evaluation path shared by the sharded engine and RunSerial, which is
+// what makes the two bit-identical.
+func evalPoint(ctx context.Context, spec Spec, pt Point) (*ShardResult, error) {
+	if spec.Experiment != "" {
+		cfg := experiments.Config{
+			Seed:           pt.Seed,
+			CircuitSamples: pt.Samples,
+			ChipSamples:    pt.Samples,
+			SearchSamples:  pt.Samples,
+		}
+		res, err := experiments.RunCtx(ctx, spec.Experiment, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardResult{Kernel: spec.Experiment, Point: pt, Text: res.Render()}, nil
+	}
+	k := kernels[spec.Metric]
+	node, err := tech.ByName(pt.Node)
+	if err != nil {
+		return nil, err
+	}
+	v, err := k.Eval(ctx, node, pt.Vdd, pt.Samples, pt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResult{Kernel: spec.Metric, Point: pt, Value: v}, nil
+}
+
+// merge assembles the grid-ordered Result from per-point shard outputs.
+func merge(spec Spec, points []Point, shards []*ShardResult) *Result {
+	res := &Result{Kernel: spec.id(), Seed: spec.Seed}
+	if spec.Metric != "" {
+		res.Unit = kernels[spec.Metric].Unit
+	}
+	res.Points = make([]PointResult, 0, len(points))
+	for i, pt := range points {
+		pr := PointResult{Point: pt}
+		if sr := shards[i]; sr != nil {
+			pr.Value = sr.Value
+			pr.Render = sr.Text
+		}
+		res.Points = append(res.Points, pr)
+	}
+	return res
+}
+
+// RunSerial evaluates the whole sweep in the calling goroutine, one
+// grid point after another in index order, bypassing the worker pool
+// and the cache. Its merged Result is byte-identical to a sharded run
+// of the same spec — the determinism contract pinned by the tests.
+func RunSerial(ctx context.Context, spec Spec) (*Result, error) {
+	ns, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	points := ns.Grid()
+	shards := make([]*ShardResult, len(points))
+	for i, pt := range points {
+		sr, err := evalPoint(ctx, ns, pt)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sr
+	}
+	return merge(ns, points, shards), nil
+}

@@ -1,0 +1,220 @@
+// Package sweep is a sharded parameter-sweep engine over the study's
+// Monte-Carlo kernels and experiments.
+//
+// A Spec names either a metric kernel (a parameterizable scalar such as
+// the 3σ/μ of a 50-FO4 chain) or a registered experiment, plus the grid
+// axes to sweep: technology nodes, a supply-voltage range, and per-point
+// sample counts. The engine expands the grid into independent shards —
+// one per grid point — and executes them across an internal/jobs worker
+// pool with per-shard context cancellation and per-shard
+// content-addressed result-cache keys, then merges shard outputs into
+// one typed, renderable Result in deterministic grid order regardless
+// of completion order.
+//
+// # Seed discipline
+//
+// Each shard derives its RNG sub-stream seed from (sweep seed, grid
+// index) via the same rng.NewSub lattice the Monte-Carlo engine uses
+// per sample, so a sharded sweep is bit-identical to a serial
+// single-shard run (RunSerial) of the same spec: both evaluate the same
+// points with the same derived seeds, only the scheduling differs.
+//
+// # Caching and crash-resume
+//
+// Every shard's cache key is the content address of its full
+// parameterization (kernel, node, Vdd, samples, derived seed), so
+// resubmitting an identical sweep — or one overlapping it at the same
+// grid indices — is served shard-by-shard from the cache without
+// recomputation; the ntvsim_sweep_shards_cached counter tallies those
+// hits. A sweep interrupted mid-run therefore resumes for free: its
+// finished shards are cache hits on the next submission.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+// MaxShards bounds the grid size of one sweep; specs expanding beyond
+// it are rejected at submission.
+const MaxShards = 4096
+
+// VddAxis is a closed supply-voltage range swept in fixed steps:
+// From, From+Step, …, up to and including To (within 1 µV tolerance).
+type VddAxis struct {
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
+	Step float64 `json:"step"`
+}
+
+// points expands the axis into its voltage grid, ascending.
+func (a VddAxis) points() []float64 {
+	n := int((a.To-a.From)/a.Step+1e-6) + 1
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, a.From+float64(i)*a.Step)
+	}
+	return out
+}
+
+// Spec describes one sweep. Exactly one of Metric or Experiment names
+// the per-point computation:
+//
+//   - Metric sweeps evaluate a registered kernel (see Kernels) on the
+//     grid nodes × Vdd points × sample counts.
+//   - Experiment sweeps run a registered experiment per grid point with
+//     all sample knobs set to the point's sample count; their only axis
+//     is Samples (experiments pin their own nodes and voltages).
+//
+// Zero fields follow the registry defaults filled in by Normalized.
+type Spec struct {
+	Metric     string   `json:"metric,omitempty"`
+	Experiment string   `json:"experiment,omitempty"`
+	Nodes      []string `json:"nodes,omitempty"`
+	Vdd        *VddAxis `json:"vdd,omitempty"`
+	Samples    []int    `json:"samples,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+}
+
+// Point is one expanded grid coordinate. Seed is the shard's derived
+// sub-stream seed — a pure function of (sweep seed, Index).
+type Point struct {
+	Index   int     `json:"index"`
+	Node    string  `json:"node,omitempty"`
+	Vdd     float64 `json:"vdd,omitempty"`
+	Samples int     `json:"samples"`
+	Seed    uint64  `json:"seed"`
+}
+
+// subSeed derives a shard seed from the sweep seed and the grid index,
+// using the rng sub-stream lattice so distinct indices get decorrelated
+// streams. The zero seed is reserved by experiments.Config to mean
+// "paper default", so it is mapped away.
+func subSeed(seed uint64, idx int) uint64 {
+	s := rng.NewSub(seed, idx).Uint64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Normalized validates the spec and fills defaulted fields: the seed
+// (paper default), the node list (all four nodes), the Vdd axis
+// (0.50–0.60 V in 50 mV steps, the paper's near-threshold band) and the
+// sample counts (the kernel's or experiment's registry default). The
+// returned spec expands to at least one and at most MaxShards points.
+func (s Spec) Normalized() (Spec, error) {
+	switch {
+	case s.Metric != "" && s.Experiment != "":
+		return Spec{}, fmt.Errorf("sweep: spec names both metric %q and experiment %q; pick one", s.Metric, s.Experiment)
+	case s.Metric == "" && s.Experiment == "":
+		return Spec{}, fmt.Errorf("sweep: spec must name a metric (one of %v) or an experiment", KernelIDs())
+	}
+	if s.Seed == 0 {
+		s.Seed = experiments.Default().Seed
+	}
+	for _, n := range s.Samples {
+		if n <= 0 {
+			return Spec{}, fmt.Errorf("sweep: sample count %d must be positive", n)
+		}
+	}
+
+	if s.Experiment != "" {
+		info, ok := experiments.Lookup(s.Experiment)
+		if !ok {
+			return Spec{}, fmt.Errorf("sweep: unknown experiment %q (have %v)", s.Experiment, experiments.IDs())
+		}
+		if len(s.Nodes) > 0 || s.Vdd != nil {
+			return Spec{}, fmt.Errorf("sweep: experiment sweeps take only a samples axis (%q pins its own nodes and voltages)", s.Experiment)
+		}
+		if len(s.Samples) == 0 {
+			n := info.DefaultSamples
+			if n == 0 {
+				n = 1 // analytic experiment: one shard, samples unused
+			}
+			s.Samples = []int{n}
+		}
+		if len(s.Samples) > MaxShards {
+			return Spec{}, fmt.Errorf("sweep: %d shards exceeds the limit of %d", len(s.Samples), MaxShards)
+		}
+		return s, nil
+	}
+
+	k, ok := kernels[s.Metric]
+	if !ok {
+		return Spec{}, fmt.Errorf("sweep: unknown metric %q (have %v)", s.Metric, KernelIDs())
+	}
+	if len(s.Nodes) == 0 {
+		for _, n := range tech.Nodes() {
+			s.Nodes = append(s.Nodes, n.Name)
+		}
+	}
+	for i, name := range s.Nodes {
+		n, err := tech.ByName(name)
+		if err != nil {
+			return Spec{}, fmt.Errorf("sweep: %w", err)
+		}
+		s.Nodes[i] = n.Name // canonicalize "22nm" → "22nm PTM HP"
+	}
+	if s.Vdd == nil {
+		s.Vdd = &VddAxis{From: 0.50, To: 0.60, Step: 0.05}
+	}
+	a := *s.Vdd
+	switch {
+	case a.Step <= 0:
+		return Spec{}, fmt.Errorf("sweep: vdd step %g must be positive", a.Step)
+	case a.From <= 0 || a.To < a.From:
+		return Spec{}, fmt.Errorf("sweep: vdd range [%g, %g] is not an ascending positive range", a.From, a.To)
+	case math.IsNaN(a.From + a.To + a.Step):
+		return Spec{}, fmt.Errorf("sweep: vdd axis contains NaN")
+	}
+	if len(s.Samples) == 0 {
+		s.Samples = []int{k.DefaultSamples}
+	}
+	if n := len(s.Nodes) * len(a.points()) * len(s.Samples); n > MaxShards {
+		return Spec{}, fmt.Errorf("sweep: %d shards exceeds the limit of %d", n, MaxShards)
+	}
+	return s, nil
+}
+
+// Grid expands a normalized spec into its points in deterministic
+// row-major order: nodes (spec order) × Vdd (ascending) × samples (spec
+// order); experiment sweeps iterate the samples axis only. The point
+// index is the position in this order and fixes the shard's derived
+// seed.
+func (s Spec) Grid() []Point {
+	var out []Point
+	add := func(node string, vdd float64, samples int) {
+		idx := len(out)
+		out = append(out, Point{
+			Index: idx, Node: node, Vdd: vdd, Samples: samples,
+			Seed: subSeed(s.Seed, idx),
+		})
+	}
+	if s.Experiment != "" {
+		for _, n := range s.Samples {
+			add("", 0, n)
+		}
+		return out
+	}
+	for _, node := range s.Nodes {
+		for _, vdd := range s.Vdd.points() {
+			for _, n := range s.Samples {
+				add(node, vdd, n)
+			}
+		}
+	}
+	return out
+}
+
+// id returns the spec's kernel identifier (metric or experiment id).
+func (s Spec) id() string {
+	if s.Experiment != "" {
+		return s.Experiment
+	}
+	return s.Metric
+}
