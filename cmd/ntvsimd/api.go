@@ -25,6 +25,7 @@ const (
 	codeInvalidSweep         = "invalid_sweep"         // sweep spec rejected by Normalized
 	codeSweepNotFound        = "sweep_not_found"       // no sweep with that id
 	codeSweepNotCancellable  = "sweep_not_cancellable" // sweep already terminal
+	codeShardFailed          = "shard_failed"          // sweep failed: shard failures exceeded the budget
 	codeStreamingUnsupported = "streaming_unsupported" // transport cannot flush SSE
 	codeInternal             = "internal"              // unexpected server-side failure
 )
@@ -51,13 +52,18 @@ func writeAPIErrorf(w http.ResponseWriter, status int, code, format string, args
 	writeAPIError(w, status, code, fmt.Sprintf(format, args...))
 }
 
-// healthPayload is the typed GET /healthz response.
+// healthPayload is the typed GET /healthz response. Status is the
+// server's lifecycle state: "ok" while serving, "draining" between the
+// shutdown signal and exit (in-flight jobs finishing, submissions
+// rejected with shutting_down). OK is true only in the "ok" state, so
+// readiness probes keying on either field agree.
 type healthPayload struct {
-	OK          bool `json:"ok"`
-	Experiments int  `json:"experiments"` // registered experiment count
-	Workers     int  `json:"workers"`     // worker-pool size
-	QueueDepth  int  `json:"queue_depth"` // jobs waiting for a worker
-	JobsRunning int  `json:"jobs_running"`
+	OK          bool   `json:"ok"`
+	Status      string `json:"status"`
+	Experiments int    `json:"experiments"` // registered experiment count
+	Workers     int    `json:"workers"`     // worker-pool size
+	QueueDepth  int    `json:"queue_depth"` // jobs waiting for a worker
+	JobsRunning int    `json:"jobs_running"`
 }
 
 // jobListPayload is the typed GET /v1/jobs response: one page of the

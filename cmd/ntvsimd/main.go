@@ -8,7 +8,13 @@
 // Usage:
 //
 //	ntvsimd [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
-//	        [-log-format text|json] [-log-level debug|info|warn|error]
+//	        [-drain-timeout 30s] [-log-format text|json] [-log-level debug|info|warn|error]
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
+// submissions (new ones get a typed 503 shutting_down envelope and
+// /healthz flips to "draining"), lets in-flight jobs finish for up to
+// -drain-timeout, then cancels whatever remains and exits. See
+// docs/ROBUSTNESS.md for the full lifecycle.
 //
 // Endpoints (see docs/API.md, docs/SWEEPS.md and docs/OBSERVABILITY.md):
 //
@@ -43,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 )
 
@@ -79,6 +86,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment jobs")
 	queue := flag.Int("queue", 64, "pending-job queue depth")
 	cacheSize := flag.Int("cache", 256, "max cached experiment results (0: unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight jobs before cancelling them")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
@@ -111,13 +119,28 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		logger.Info("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: flip /healthz to "draining" and reject new
+		// submissions first, then let in-flight jobs finish within the
+		// -drain-timeout budget (past it they are cancelled), and only
+		// then close the HTTP listener — SSE watchers of draining jobs
+		// stay connected until their jobs land.
+		logger.Info("drain started", "timeout", drainTimeout.String(),
+			"jobs_pending", s.jobs.Pending())
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		if err := s.drain(drainCtx); err != nil {
+			logger.Warn("drain timed out; cancelled remaining jobs", "error", err.Error())
+		} else {
+			logger.Info("drain complete")
+		}
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancelShutdown()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
@@ -127,5 +150,6 @@ func main() {
 		logger.Error("listener failed", "error", err.Error())
 		os.Exit(1)
 	}
-	s.close() // drain queued and running jobs before exiting
+	stop()
+	<-drained // the drain goroutine owns the worker pool's shutdown
 }

@@ -122,6 +122,17 @@ func init() {
 		func(s *server) float64 { _, m := s.cache.Stats(); return float64(m) })
 	counter("ntvsimd_cache_evictions_total", "Result-cache entries pushed out by the LRU bound.",
 		func(s *server) float64 { return float64(s.cache.Evictions()) })
+	counter("ntvsim_job_panics_total", "Job Funcs that panicked and were recovered by the worker pool.",
+		func(s *server) float64 { return float64(s.jobs.Counters().Panics) })
+	counter("ntvsim_job_retries_total", "Transient job-attempt failures re-run with backoff.",
+		func(s *server) float64 { return float64(s.jobs.Counters().Retries) })
+	gauge("ntvsim_jobs_draining", "Jobs still in flight during graceful drain (0 while serving).",
+		func(s *server) float64 {
+			if s.draining.Load() {
+				return float64(s.jobs.Pending())
+			}
+			return 0
+		})
 	gauge("ntvsimd_cache_hit_ratio", "hits/(hits+misses) of the result cache since start.",
 		func(s *server) float64 { return s.cache.HitRatio() })
 	gauge("ntvsimd_cache_entries", "Entries currently held by the result cache.",
@@ -138,6 +149,13 @@ type server struct {
 	log     *slog.Logger
 	workers int
 	mux     *http.ServeMux
+
+	// base is the parent context of every job and sweep; tests thread a
+	// faults.Injector through it.
+	base context.Context
+	// draining flips once at the start of graceful shutdown: submissions
+	// are rejected with shutting_down and /healthz reports "draining".
+	draining atomic.Bool
 }
 
 func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server {
@@ -151,6 +169,7 @@ func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server 
 		log:     logger,
 		workers: workers,
 		mux:     http.NewServeMux(),
+		base:    context.Background(),
 	}
 	s.sweeps = sweep.NewEngine(s.jobs, s.cache, s.traces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -175,6 +194,20 @@ func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server 
 
 // close drains the worker pool; used by main on shutdown and by tests.
 func (s *server) close() { s.jobs.Close() }
+
+// beginDrain flips the server into the draining state: /healthz reports
+// "draining" and new job/sweep submissions are rejected with a typed
+// shutting_down envelope. In-flight work is untouched — drain finishes
+// it.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// drain stops the worker pool and waits for in-flight jobs to finish;
+// when ctx (the -drain-timeout budget) ends first, the remaining jobs
+// are cancelled and drain still waits for the workers to observe it.
+func (s *server) drain(ctx context.Context) error {
+	s.beginDrain()
+	return s.jobs.Drain(ctx)
+}
 
 // handler wraps the route mux with structured request logging and the
 // HTTP request metrics.
@@ -238,10 +271,14 @@ func debugMux() *http.ServeMux {
 // submitRequest is the POST /v1/jobs body. Config follows the
 // zero-means-default contract of experiments.Config; Quick fills zero
 // fields from the reduced regression configuration instead.
+// TimeoutSec bounds the job's whole lifetime (queue wait included);
+// MaxRetries re-runs transiently-failed attempts. Both default to off.
 type submitRequest struct {
 	Experiment string             `json:"experiment"`
 	Config     experiments.Config `json:"config"`
 	Quick      bool               `json:"quick"`
+	TimeoutSec float64            `json:"timeout_seconds,omitempty"`
+	MaxRetries int                `json:"max_retries,omitempty"`
 }
 
 // jobKey is the content-addressed cache identity of a run: experiment id
@@ -282,12 +319,17 @@ func progressOf(snap jobs.Snapshot) progressPayload {
 }
 
 // jobPayload is the wire form of a job (POST and GET responses).
+// Attempts exceeds 1 only after transient-failure retries; Stack is the
+// captured goroutine stack of a recovered panic (single-job GET only —
+// listings elide it alongside Result).
 type jobPayload struct {
 	ID         string           `json:"id,omitempty"`
 	Experiment string           `json:"experiment"`
 	State      jobs.State       `json:"state"`
 	Cached     bool             `json:"cached"`
 	Error      string           `json:"error,omitempty"`
+	Stack      string           `json:"stack,omitempty"`
+	Attempts   int              `json:"attempts,omitempty"`
 	CreatedAt  *time.Time       `json:"created_at,omitempty"`
 	StartedAt  *time.Time       `json:"started_at,omitempty"`
 	FinishedAt *time.Time       `json:"finished_at,omitempty"`
@@ -309,6 +351,8 @@ func snapshotPayload(s jobs.Snapshot) jobPayload {
 		Experiment: s.Name,
 		State:      s.State,
 		Error:      s.Error,
+		Stack:      s.Stack,
+		Attempts:   s.Attempts,
 	}
 	for _, ts := range []struct {
 		t   time.Time
@@ -331,8 +375,13 @@ func snapshotPayload(s jobs.Snapshot) jobPayload {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, healthPayload{
-		OK:          true,
+		OK:          status == "ok",
+		Status:      status,
 		Experiments: len(experiments.IDs()),
 		Workers:     s.workers,
 		QueueDepth:  s.jobs.QueueDepth(),
@@ -356,10 +405,25 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeAPIError(w, http.StatusServiceUnavailable, codeShuttingDown,
+			"server is draining; not accepting new jobs")
+		return
+	}
 	var req submitRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody, "invalid JSON body: %v", err)
+		return
+	}
+	if req.TimeoutSec < 0 {
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody,
+			"timeout_seconds %g must not be negative", req.TimeoutSec)
+		return
+	}
+	if req.MaxRetries < 0 {
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody,
+			"max_retries %d must not be negative", req.MaxRetries)
 		return
 	}
 	if req.Experiment == "" {
@@ -395,7 +459,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	evCacheMisses.Add(1)
 
-	id, err := s.jobs.Submit(req.Experiment, s.runJob(req.Experiment, cfg, key))
+	opts := jobs.SubmitOpts{Parent: s.base, MaxRetries: req.MaxRetries}
+	if req.TimeoutSec > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(req.TimeoutSec * float64(time.Second)))
+	}
+	id, err := s.jobs.SubmitWith(req.Experiment, s.runJob(req.Experiment, cfg, key), opts)
 	if err != nil {
 		status, code := http.StatusInternalServerError, codeInternal
 		switch {
@@ -479,6 +547,7 @@ func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	for _, snap := range snaps {
 		p := snapshotPayload(snap)
 		p.Result = nil // keep the listing light; fetch one job for its result
+		p.Stack = ""   // panic stacks are multi-KB; fetch one job to see one
 		out = append(out, p)
 	}
 	writeJSON(w, http.StatusOK, jobListPayload{Jobs: out, Total: total, Limit: q.limit, Offset: q.offset})

@@ -12,6 +12,9 @@ import (
 // Results holds the merged-so-far grid points of completed shards, so a
 // mid-run GET sees partial results; Result is the fully merged artifact
 // of a done sweep.
+// Error carries the typed shard_failed envelope of a sweep that failed
+// (first permanent shard failure, or the failure-budget abort);
+// Retried counts in-place shard retries absorbed along the way.
 type sweepPayload struct {
 	ID         string                `json:"id"`
 	State      sweep.State           `json:"state"`
@@ -21,6 +24,8 @@ type sweepPayload struct {
 	Cached     int                   `json:"cached"`
 	Failed     int                   `json:"failed,omitempty"`
 	Cancelled  int                   `json:"cancelled,omitempty"`
+	Retried    int                   `json:"retried,omitempty"`
+	Error      *apiError             `json:"error,omitempty"`
 	CreatedAt  *time.Time            `json:"created_at,omitempty"`
 	FinishedAt *time.Time            `json:"finished_at,omitempty"`
 	Shards     []sweep.ShardSnapshot `json:"shards,omitempty"`
@@ -34,6 +39,16 @@ type sweepPayload struct {
 type sweepListPayload struct {
 	Sweeps []sweepPayload `json:"sweeps"`
 	Total  int            `json:"total"`
+}
+
+// sweepDoneEvent is the terminal SSE payload of a sweep stream. Unlike
+// the per-job doneEvent's flat error string, a failed sweep carries the
+// typed shard_failed envelope so stream consumers and unary clients
+// switch on the same code.
+type sweepDoneEvent struct {
+	ID    string    `json:"id"`
+	State string    `json:"state"`
+	Error *apiError `json:"error,omitempty"`
 }
 
 // sweepProgressPayload is the data of sweep SSE progress events: shard
@@ -59,6 +74,8 @@ func sweepPayloadOf(sw *sweep.Sweep, snap sweep.Snapshot, detail bool) sweepPayl
 		Cached:    snap.Cached,
 		Failed:    snap.Failed,
 		Cancelled: snap.Cancelled,
+		Retried:   snap.Retried,
+		Error:     sweepError(snap),
 	}
 	if !snap.Created.IsZero() {
 		t := snap.Created
@@ -78,18 +95,32 @@ func sweepPayloadOf(sw *sweep.Sweep, snap sweep.Snapshot, detail bool) sweepPayl
 	return p
 }
 
+// sweepError maps a Failed sweep's recorded failure to the typed
+// shard_failed envelope carried by payloads and the SSE done event.
+func sweepError(snap sweep.Snapshot) *apiError {
+	if snap.State != sweep.Failed {
+		return nil
+	}
+	return &apiError{Code: codeShardFailed, Message: snap.Error}
+}
+
 // handleSubmitSweep validates and starts a sweep. Unlike POST /v1/jobs,
 // a fully cached resubmission still creates a sweep — its shards all
 // finish as cache hits near-instantly and the response reports them in
 // the cached count.
 func (s *server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeAPIError(w, http.StatusServiceUnavailable, codeShuttingDown,
+			"server is draining; not accepting new sweeps")
+		return
+	}
 	var spec sweep.Spec
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&spec); err != nil {
 		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody, "invalid JSON body: %v", err)
 		return
 	}
-	sw, err := s.sweeps.Submit(spec)
+	sw, err := s.sweeps.SubmitCtx(s.base, spec)
 	if err != nil {
 		writeAPIError(w, http.StatusBadRequest, codeInvalidSweep, err.Error())
 		return
@@ -146,9 +177,10 @@ func (s *server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
 // mirroring the per-job stream:
 //
 //	event: progress   data: sweepProgressPayload  (whenever a shard finishes)
-//	event: done       data: doneEvent             (exactly once, then the stream closes)
+//	event: done       data: sweepDoneEvent        (exactly once, then the stream closes)
 //
-// A terminal sweep yields an immediate done event.
+// A terminal sweep yields an immediate done event; a sweep that failed
+// its failure budget carries the typed shard_failed envelope in it.
 func (s *server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sw, ok := s.sweeps.Get(id)
@@ -173,7 +205,7 @@ func (s *server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		if snap.State.Terminal() {
-			emit("done", doneEvent{ID: id, State: string(snap.State)})
+			emit("done", sweepDoneEvent{ID: id, State: string(snap.State), Error: sweepError(snap)})
 			return
 		}
 		select {

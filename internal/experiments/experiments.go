@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/ntvsim/ntvsim/internal/faults"
 	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
@@ -174,6 +175,10 @@ func RunCtx(ctx context.Context, id string, cfg Config) (Result, error) {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Fault-injection hook; inert unless a test armed an injector.
+	if err := faults.Fire(ctx, faults.SiteExperimentRun); err != nil {
 		return nil, err
 	}
 	ctx, sp := telemetry.StartSpan(ctx, "experiment/"+id)

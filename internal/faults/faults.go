@@ -1,0 +1,281 @@
+// Package faults is a deterministic, seeded fault injector for tests.
+//
+// The production packages of this repo expose build-tag-free hook
+// points — named call sites that consult the context for an Injector
+// and do nothing when none is present (one context lookup per hook, no
+// allocation, no behavioural change). Tests arm an Injector with Rules
+// and thread it through a context; the hooks then fail on command:
+// return a transient error, panic, or wedge until cancellation.
+//
+// The design follows the paper's own detect-and-recover philosophy:
+// Razor-style systems prove their margins by *injecting* timing errors
+// and recovering, rather than hoping the worst case never happens. The
+// serving layer does the same — every retry, recover() and drain path
+// is exercised under injected faults, deterministically, so the fault
+// suite never flakes.
+//
+// # Determinism
+//
+// Each hook site keeps an atomic call counter. A Rule with After=N
+// trips on exactly the N-th Fire call at its site (and the Times-1
+// calls after it), independent of goroutine interleaving: occurrence
+// numbers are assigned uniquely under the injector's lock. A Rule with
+// Prob>0 trips on call n iff a pure hash of (seed, site, n) falls
+// below Prob — the decision sequence is a function of the seed alone,
+// so a fixed seed matrix in CI replays identical fault schedules.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+// Kind enumerates the failure modes a Rule can inject.
+type Kind string
+
+// Injectable failure modes.
+const (
+	// KindError makes Fire return an *Error (transient unless the rule
+	// is marked Permanent), after the rule's Delay.
+	KindError Kind = "error"
+	// KindPanic makes Fire panic with a *Panic value.
+	KindPanic Kind = "panic"
+	// KindWedge makes Fire block until the caller's context ends, then
+	// return its error — a simulated hung shard.
+	KindWedge Kind = "wedge"
+)
+
+// Hook sites wired through the execution stack. Fire is a no-op at
+// every site unless the context carries an armed Injector.
+const (
+	// SiteMonteCarloChunk fires once per checkEvery-sample worker chunk
+	// inside the Monte-Carlo sampling loops ("panic at sample N").
+	SiteMonteCarloChunk = "montecarlo.chunk"
+	// SiteExperimentRun fires at the entry of experiments.RunCtx.
+	SiteExperimentRun = "experiments.run"
+	// SiteSweepShard fires at the entry of each sweep shard evaluation.
+	SiteSweepShard = "sweep.shard"
+	// SiteJobAttempt fires at the start of every job attempt in the
+	// internal/jobs worker pool, including retries.
+	SiteJobAttempt = "jobs.attempt"
+)
+
+// Rule arms one fault at a hook site.
+type Rule struct {
+	Site string
+	Kind Kind
+
+	// After trips the rule on the After-th Fire call at Site (1-based);
+	// zero means the first call. Ignored when Prob is set.
+	After int
+	// Times bounds how many Fire calls trip this rule; zero means once.
+	Times int
+	// Prob arms a seeded Bernoulli instead of a fixed occurrence: call
+	// n trips iff hash(seed, site, n) < Prob. Still bounded by Times.
+	Prob float64
+	// Delay is slept (context-aware) before the fault takes effect —
+	// "error after delay". A context that ends during the sleep wins:
+	// Fire returns its error and the rule still counts as fired.
+	Delay time.Duration
+	// Permanent marks injected errors non-transient so retry layers
+	// give up immediately.
+	Permanent bool
+	// Msg is appended to the injected error/panic text when set.
+	Msg string
+}
+
+// Error is the value returned by KindError faults. It implements the
+// Transient() classification consumed by the retry layers (see
+// jobs.IsTransient) without this package importing them.
+type Error struct {
+	Site      string
+	N         int // which Fire call at Site tripped
+	Permanent bool
+	Msg       string
+}
+
+// Error implements error with a stable, deterministic message (golden
+// tests pin it).
+func (e *Error) Error() string {
+	s := fmt.Sprintf("faults: injected error at %s (call %d)", e.Site, e.N)
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+// Transient reports whether retry layers should treat the injected
+// error as retryable.
+func (e *Error) Transient() bool { return !e.Permanent }
+
+// Panic is the value KindPanic faults panic with.
+type Panic struct {
+	Site string
+	N    int
+	Msg  string
+}
+
+func (p *Panic) String() string {
+	s := fmt.Sprintf("faults: injected panic at %s (call %d)", p.Site, p.N)
+	if p.Msg != "" {
+		s += ": " + p.Msg
+	}
+	return s
+}
+
+// armed is one Rule plus its firing bookkeeping.
+type armed struct {
+	Rule
+	fired int
+}
+
+// Injector decides, deterministically, which Fire calls fail and how.
+// All methods are safe for concurrent use; a nil *Injector never
+// fires.
+type Injector struct {
+	seed uint64
+
+	mu     sync.Mutex
+	rules  map[string][]*armed
+	counts map[string]int
+	fired  int
+}
+
+// New returns an Injector with the given decision seed and rules.
+func New(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{
+		seed:   seed,
+		rules:  make(map[string][]*armed),
+		counts: make(map[string]int),
+	}
+	for _, r := range rules {
+		in.rules[r.Site] = append(in.rules[r.Site], &armed{Rule: r})
+	}
+	return in
+}
+
+// Fired returns how many faults the injector has raised so far.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Calls returns how many Fire calls the named site has seen.
+func (in *Injector) Calls(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[site]
+}
+
+// ctxKey carries the Injector in a context.
+type ctxKey struct{}
+
+// With returns a context carrying in; production code never calls
+// this, so plain contexts keep every hook inert.
+func With(ctx context.Context, in *Injector) context.Context {
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// From returns the Injector carried by ctx, or nil.
+func From(ctx context.Context) *Injector {
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}
+
+// Fire is the package-level hook: it consults the Injector in ctx (if
+// any) for the named site. The no-injector fast path is one context
+// lookup.
+func Fire(ctx context.Context, site string) error {
+	in := From(ctx)
+	if in == nil {
+		return nil
+	}
+	return in.Fire(ctx, site)
+}
+
+// Fire records one call at site and raises the first armed rule that
+// trips: KindError returns an *Error, KindPanic panics with a *Panic,
+// KindWedge blocks until ctx ends. Untripped calls return nil.
+func (in *Injector) Fire(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.counts[site]++
+	n := in.counts[site]
+	var hit *armed
+	for _, a := range in.rules[site] {
+		if a.trips(in.seed, n) {
+			a.fired++
+			in.fired++
+			hit = a
+			break
+		}
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	return act(ctx, hit.Rule, site, n)
+}
+
+// trips decides whether call n at the rule's site raises the fault;
+// callers hold the injector's lock.
+func (a *armed) trips(seed uint64, n int) bool {
+	times := a.Times
+	if times <= 0 {
+		times = 1
+	}
+	if a.fired >= times {
+		return false
+	}
+	if a.Prob > 0 {
+		return decide(seed, a.Site, n) < a.Prob
+	}
+	after := a.After
+	if after <= 0 {
+		after = 1
+	}
+	return n >= after && n < after+times
+}
+
+// decide is the pure (seed, site, n) → [0,1) hash behind Prob rules.
+func decide(seed uint64, site string, n int) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(site))
+	return rng.NewSub(seed^h.Sum64(), n).Float64()
+}
+
+// act performs the tripped rule's failure mode.
+func act(ctx context.Context, r Rule, site string, n int) error {
+	if r.Delay > 0 {
+		t := time.NewTimer(r.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	switch r.Kind {
+	case KindPanic:
+		panic(&Panic{Site: site, N: n, Msg: r.Msg})
+	case KindWedge:
+		<-ctx.Done()
+		return ctx.Err()
+	default: // KindError
+		return &Error{Site: site, N: n, Permanent: r.Permanent, Msg: r.Msg}
+	}
+}

@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNoInjectorIsInert(t *testing.T) {
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if err := Fire(ctx, SiteJobAttempt); err != nil {
+			t.Fatalf("Fire on a plain context returned %v", err)
+		}
+	}
+	var nilInj *Injector
+	if err := nilInj.Fire(ctx, SiteJobAttempt); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if n := nilInj.Fired(); n != 0 {
+		t.Fatalf("nil injector Fired() = %d", n)
+	}
+}
+
+func TestErrorAfterNthCall(t *testing.T) {
+	in := New(1, Rule{Site: SiteSweepShard, Kind: KindError, After: 3})
+	ctx := With(context.Background(), in)
+	for n := 1; n <= 5; n++ {
+		err := Fire(ctx, SiteSweepShard)
+		if n == 3 {
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("call %d: want *Error, got %v", n, err)
+			}
+			if fe.Site != SiteSweepShard || fe.N != 3 {
+				t.Fatalf("call %d: bad error identity %+v", n, fe)
+			}
+			if !fe.Transient() {
+				t.Fatalf("non-permanent injected error must be transient")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("call %d: unexpected error %v", n, err)
+		}
+	}
+	if got := in.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+	if got := in.Calls(SiteSweepShard); got != 5 {
+		t.Fatalf("Calls() = %d, want 5", got)
+	}
+}
+
+func TestTimesBoundsFirings(t *testing.T) {
+	in := New(1, Rule{Site: SiteJobAttempt, Kind: KindError, After: 1, Times: 3})
+	ctx := With(context.Background(), in)
+	failed := 0
+	for n := 0; n < 10; n++ {
+		if Fire(ctx, SiteJobAttempt) != nil {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("rule with Times=3 fired %d times", failed)
+	}
+}
+
+func TestErrorMessageIsStable(t *testing.T) {
+	e := &Error{Site: "sweep.shard", N: 2}
+	const want = "faults: injected error at sweep.shard (call 2)"
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+	e.Msg = "disk on fire"
+	if got, want := e.Error(), want+": disk on fire"; got != want {
+		t.Fatalf("Error() with Msg = %q, want %q", got, want)
+	}
+}
+
+func TestPermanentErrorsAreNotTransient(t *testing.T) {
+	in := New(1, Rule{Site: SiteJobAttempt, Kind: KindError, Permanent: true})
+	err := in.Fire(context.Background(), SiteJobAttempt)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Transient() {
+		t.Fatalf("permanent rule produced %v (transient=%v)", err, fe.Transient())
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(1, Rule{Site: SiteMonteCarloChunk, Kind: KindPanic, After: 2, Msg: "boom"})
+	ctx := With(context.Background(), in)
+	if err := Fire(ctx, SiteMonteCarloChunk); err != nil {
+		t.Fatalf("call 1 should pass: %v", err)
+	}
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %v, want *Panic", r)
+		}
+		const want = "faults: injected panic at montecarlo.chunk (call 2): boom"
+		if p.String() != want {
+			t.Fatalf("panic text %q, want %q", p.String(), want)
+		}
+	}()
+	_ = Fire(ctx, SiteMonteCarloChunk)
+	t.Fatal("second call did not panic")
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	in := New(1, Rule{Site: SiteJobAttempt, Kind: KindError, Delay: time.Hour})
+	ctx, cancel := context.WithCancel(With(context.Background(), in))
+	cancel()
+	start := time.Now()
+	err := Fire(ctx, SiteJobAttempt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("delayed fire under a dead context returned %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("delayed fire did not honor cancellation promptly")
+	}
+}
+
+func TestWedgeUnblocksOnCancel(t *testing.T) {
+	in := New(1, Rule{Site: SiteSweepShard, Kind: KindWedge})
+	ctx, cancel := context.WithCancel(With(context.Background(), in))
+	done := make(chan error, 1)
+	go func() { done <- Fire(ctx, SiteSweepShard) }()
+	select {
+	case err := <-done:
+		t.Fatalf("wedge returned %v before cancellation", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("wedge returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wedge did not unblock after cancellation")
+	}
+}
+
+// TestProbIsDeterministicPerSeed pins the Prob decision sequence to the
+// seed: two injectors with the same seed agree call-for-call, and the
+// fired set is bounded by Times.
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []int {
+		in := New(seed, Rule{Site: SiteMonteCarloChunk, Kind: KindError, Prob: 0.3, Times: 1 << 30})
+		ctx := With(context.Background(), in)
+		var fired []int
+		for n := 1; n <= 200; n++ {
+			if Fire(ctx, SiteMonteCarloChunk) != nil {
+				fired = append(fired, n)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("Prob=0.3 fired %d/200 times; decision hash looks degenerate", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if c := run(43); len(c) == len(a) && equalInts(c, a) {
+		t.Fatalf("different seeds produced identical fault schedules")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package jobs
+
+// Race-hammer suite for the retry/deadline/drain paths. These tests are
+// about interleavings, not outcomes: they drive Cancel against retry
+// backoffs, deadlines against backoff sleeps, and Close against a live
+// drain, under -race in CI (the chaos job runs them with -count=2), and
+// assert the pool neither deadlocks nor leaks goroutines.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// assertNoGoroutineLeak runs fn and asserts the process goroutine count
+// returns to its starting neighborhood, polling with tolerance because
+// runtime bookkeeping goroutines come and go.
+func assertNoGoroutineLeak(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finalizer-held goroutines along
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHammerCancelDuringRetry(t *testing.T) {
+	assertNoGoroutineLeak(t, func() {
+		m := NewManager(4, 64)
+		m.SetBackoff(Backoff{Base: 2 * time.Millisecond, Max: 10 * time.Millisecond, Seed: 3})
+		rng := rand.New(rand.NewSource(42))
+		var ids []string
+		for i := 0; i < 40; i++ {
+			id, err := m.SubmitWith("flaky", func(ctx context.Context) (any, error) {
+				return nil, Transient(errors.New("blip"))
+			}, SubmitOpts{MaxRetries: 50})
+			if err != nil {
+				t.Fatalf("Submit %d: %v", i, err)
+			}
+			ids = append(ids, id)
+		}
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string, delay time.Duration) {
+				defer wg.Done()
+				time.Sleep(delay)
+				m.Cancel(id)
+			}(id, time.Duration(rng.Intn(20))*time.Millisecond)
+		}
+		wg.Wait()
+		for _, id := range ids {
+			snap := waitState(t, m, id, 30*time.Second)
+			// Cancelled mid-retry, or Failed if the cancel landed after the
+			// (generous) retry budget — either is a clean terminal state.
+			if snap.State != Cancelled && snap.State != Failed {
+				t.Fatalf("job %s ended %s", id, snap.State)
+			}
+		}
+		m.Close()
+	})
+}
+
+func TestHammerDeadlineDuringBackoff(t *testing.T) {
+	assertNoGoroutineLeak(t, func() {
+		m := NewManager(4, 64)
+		// Backoff long enough that most deadlines expire inside the sleep.
+		m.SetBackoff(Backoff{Base: 20 * time.Millisecond, Max: 40 * time.Millisecond, Seed: 5})
+		var ids []string
+		for i := 0; i < 40; i++ {
+			id, err := m.SubmitWith("flaky", func(ctx context.Context) (any, error) {
+				return nil, Transient(errors.New("blip"))
+			}, SubmitOpts{
+				MaxRetries: 1000,
+				Deadline:   time.Now().Add(time.Duration(5+i) * time.Millisecond),
+			})
+			if err != nil {
+				t.Fatalf("Submit %d: %v", i, err)
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			snap := waitState(t, m, id, 30*time.Second)
+			if snap.State != Failed {
+				t.Fatalf("job %s ended %s (%q), want failed by deadline", id, snap.State, snap.Error)
+			}
+		}
+		m.Close()
+	})
+}
+
+func TestHammerCloseDuringDrain(t *testing.T) {
+	assertNoGoroutineLeak(t, func() {
+		m := NewManager(4, 64)
+		for i := 0; i < 30; i++ {
+			_, err := m.Submit("short", func(ctx context.Context) (any, error) {
+				select {
+				case <-time.After(time.Millisecond):
+				case <-ctx.Done():
+				}
+				return nil, nil
+			})
+			if err != nil {
+				t.Fatalf("Submit %d: %v", i, err)
+			}
+		}
+		// Concurrent Drain + Close + CancelAll + Submit: the closed flag,
+		// the queue close and the channel send share one critical section,
+		// so none of these interleavings can panic.
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = m.Drain(ctx)
+			}()
+		}
+		wg.Add(2)
+		go func() { defer wg.Done(); m.Close() }()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, err := m.Submit("late", func(ctx context.Context) (any, error) { return nil, nil })
+				if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+					t.Errorf("Submit during close: %v", err)
+				}
+			}
+		}()
+		go m.CancelAll()
+		wg.Wait()
+	})
+}

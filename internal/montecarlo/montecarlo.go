@@ -20,6 +20,13 @@
 // reporter the loops are unchanged — the reporter pointer is nil and
 // every tick is a nil-receiver no-op.
 //
+// The same chunk boundary hosts a fault-injection hook
+// (faults.SiteMonteCarloChunk) that is inert unless the context carries
+// an armed faults.Injector — tests use it to panic or fail a sampling
+// loop at a deterministic sample index. A panic in fn (injected or
+// real) never unwinds a worker goroutine: it is contained and re-raised
+// on the calling goroutine with the original stack attached.
+//
 // # Allocation discipline
 //
 // The sampling loops are the hot path of every figure and table in the
@@ -42,10 +49,13 @@ package montecarlo
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"github.com/ntvsim/ntvsim/internal/faults"
 	"github.com/ntvsim/ntvsim/internal/rng"
 	"github.com/ntvsim/ntvsim/internal/stats"
 	"github.com/ntvsim/ntvsim/internal/telemetry"
@@ -160,16 +170,15 @@ func MomentsCtx(ctx context.Context, seed uint64, n int, fn func(r *rng.Stream) 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer containPanic(&errs[w])
 			errs[w] = runSpan(ctx, prog, seed, lo, hi, func(i int, r *rng.Stream) {
 				partial[w].Add(fn(r))
 			})
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats.Stream{}, err
-		}
+	if err := firstError(errs); err != nil {
+		return stats.Stream{}, err
 	}
 	var total stats.Stream
 	for w := range partial {
@@ -194,10 +203,50 @@ func parallelFor(ctx context.Context, prog *telemetry.Progress, seed uint64, n i
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer containPanic(&errs[w])
 			errs[w] = runSpan(ctx, prog, seed, lo, hi, body)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	return firstError(errs)
+}
+
+// workerPanic carries a panic from a sampling worker goroutine back to
+// the caller, where it is re-raised: a panic in fn must not unwind a
+// bare worker goroutine (that would kill the process with no recovery
+// point), but it must still surface as a panic — masking it as an error
+// would hide kernel bugs. It keeps the worker's original stack, which
+// the jobs layer's recover captures via the Stack method.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *workerPanic) Error() string  { return p.String() }
+func (p *workerPanic) String() string { return fmt.Sprintf("montecarlo: worker panic: %v", p.val) }
+
+// Stack returns the goroutine stack captured where the panic happened.
+func (p *workerPanic) Stack() []byte { return p.stack }
+
+// containPanic is deferred in every sampling worker goroutine. It costs
+// nothing on the happy path (the *workerPanic is only allocated when a
+// panic is actually in flight, keeping the alloc-regression bounds).
+func containPanic(slot *error) {
+	if r := recover(); r != nil {
+		*slot = &workerPanic{val: r, stack: debug.Stack()}
+	}
+}
+
+// firstError returns the first non-nil worker error — except that a
+// contained panic takes precedence and is re-raised on the caller's
+// goroutine, restoring the synchronous-panic contract of the Ctx entry
+// points regardless of worker count.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if p, ok := err.(*workerPanic); ok {
+			panic(p)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -217,6 +266,7 @@ func parallelFor(ctx context.Context, prog *telemetry.Progress, seed uint64, n i
 func runSpan(ctx context.Context, prog *telemetry.Progress, seed uint64, lo, hi int, body func(i int, r *rng.Stream)) error {
 	var stream rng.Stream
 	done := ctx.Done()
+	inj := faults.From(ctx) // nil outside fault-injection tests
 	evaluated, reported := 0, 0
 	defer func() {
 		samplesEvaluated.Add(uint64(evaluated))
@@ -233,6 +283,11 @@ func runSpan(ctx context.Context, prog *telemetry.Progress, seed uint64, lo, hi 
 				case <-done:
 					return ctx.Err()
 				default:
+				}
+			}
+			if inj != nil {
+				if err := inj.Fire(ctx, faults.SiteMonteCarloChunk); err != nil {
+					return err
 				}
 			}
 		}

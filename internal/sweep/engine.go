@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/faults"
 	"github.com/ntvsim/ntvsim/internal/jobs"
 	"github.com/ntvsim/ntvsim/internal/resultcache"
 	"github.com/ntvsim/ntvsim/internal/telemetry"
@@ -24,6 +26,8 @@ var (
 		"Sweep shards finished successfully, including cache hits.")
 	mShardsCached = telemetry.Default.Counter("ntvsim_sweep_shards_cached",
 		"Sweep shards served from the result cache without recomputation.")
+	mShardRetries = telemetry.Default.Counter("ntvsim_sweep_shard_retries_total",
+		"In-place shard evaluation retries after transient failures or panics.")
 )
 
 // State is a sweep's lifecycle state.
@@ -62,11 +66,12 @@ func (s ShardState) terminal() bool {
 
 // ShardSnapshot is one shard's externally visible state.
 type ShardSnapshot struct {
-	Index  int        `json:"index"`
-	State  ShardState `json:"state"`
-	Cached bool       `json:"cached"`
-	JobID  string     `json:"job_id,omitempty"`
-	Error  string     `json:"error,omitempty"`
+	Index   int        `json:"index"`
+	State   ShardState `json:"state"`
+	Cached  bool       `json:"cached"`
+	Retries int        `json:"retries,omitempty"` // in-place re-evaluations after transient faults
+	JobID   string     `json:"job_id,omitempty"`
+	Error   string     `json:"error,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a sweep's externally visible
@@ -85,6 +90,8 @@ type Snapshot struct {
 	Cached    int // subset of Completed served from the cache
 	Failed    int
 	Cancelled int
+	Retried   int    // total in-place shard retries across the sweep
+	Error     string // first permanent shard failure, set when State is Failed
 }
 
 // Engine expands sweeps into shards and runs them on a shared
@@ -117,34 +124,47 @@ type Sweep struct {
 	cancel  context.CancelFunc
 	created time.Time
 
-	mu        sync.Mutex
-	state     State
-	finished  time.Time
-	shards    []shardState
-	results   []*ShardResult // grid-indexed; nil until the shard completes
-	remaining int
-	doneCh    chan struct{}
-	progress  *telemetry.Progress // done = completed shards, total = grid size
+	mu         sync.Mutex
+	state      State
+	finished   time.Time
+	shards     []shardState
+	results    []*ShardResult // grid-indexed; nil until the shard completes
+	remaining  int
+	failed     int    // permanently failed shards, checked against the budget
+	failErr    string // first permanent shard failure
+	retried    int    // total in-place shard retries
+	userCancel bool   // Cancel() was called — wins over failure in the final state
+	aborted    bool   // the failure budget tripped and cancelled the rest
+	doneCh     chan struct{}
+	progress   *telemetry.Progress // done = completed shards, total = grid size
 }
 
 // shardState is one shard's mutable bookkeeping; Sweep.mu guards it.
 type shardState struct {
-	state  ShardState
-	cached bool
-	jobID  string
-	err    string
+	state   ShardState
+	cached  bool
+	retries int
+	jobID   string
+	err     string
 }
 
 // Submit validates and expands spec, registers the sweep and starts its
 // dispatcher. Shards begin executing immediately; watch progress via
 // Snapshot or wait on Done.
 func (e *Engine) Submit(spec Spec) (*Sweep, error) {
+	return e.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with a parent context: cancelling parent cancels
+// the sweep, and parent's values — notably a faults.Injector in tests —
+// flow into every shard evaluation.
+func (e *Engine) SubmitCtx(parent context.Context, spec Spec) (*Sweep, error) {
 	ns, err := spec.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	points := ns.Grid()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	sw := &Sweep{
 		ID:      newSweepID(),
 		eng:     e,
@@ -226,29 +246,27 @@ func (sw *Sweep) dispatch() {
 }
 
 // submitShard hands one shard to the worker pool, waiting out a full
-// queue. The shard's job func performs the evaluation, caches the
+// queue. The shard's job func performs the evaluation — retrying
+// transient failures and contained panics in place — then caches the
 // output and finalizes the shard.
 func (sw *Sweep) submitShard(idx int, key string) {
 	pt := sw.points[idx]
 	name := fmt.Sprintf("sweep:%s#%d", sw.ID, idx)
 	fn := func(ctx context.Context) (any, error) {
 		sw.markRunning(idx)
-		// Tie the shard to the sweep's context as well as the job's own:
-		// sweep-level cancellation reaches a shard even if the per-job
-		// Cancel raced with its submission.
-		ctx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		stop := context.AfterFunc(sw.ctx, cancel)
-		defer stop()
 		if sw.eng.traces != nil {
 			var trace *telemetry.Trace
 			ctx, trace = sw.eng.traces.Start(ctx, jobs.ContextID(ctx))
 			defer trace.Finish()
 		}
-		spanCtx, sp := telemetry.StartSpan(ctx, fmt.Sprintf("sweep/%s/shard/%d", sw.ID, idx))
-		sr, err := evalPoint(spanCtx, sw.spec, pt)
-		sp.End()
+		sr, err := sw.runShard(ctx, idx, pt)
 		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			// The shard timeout expired: a permanent failure, not a
+			// cancellation — it counts against the failure budget.
+			terr := fmt.Errorf("shard timeout: %w", context.DeadlineExceeded)
+			sw.finishShard(idx, ShardFailed, nil, terr)
+			return nil, terr
 		case ctx.Err() != nil:
 			sw.finishShard(idx, ShardCancelled, nil, context.Canceled)
 			return nil, context.Canceled
@@ -261,8 +279,18 @@ func (sw *Sweep) submitShard(idx int, key string) {
 			return sr, nil
 		}
 	}
+	opts := jobs.SubmitOpts{
+		// The job context derives from the sweep context, so sweep-level
+		// cancellation (user Cancel, failure-budget abort, parent context)
+		// reaches a shard even if the per-job Cancel raced its submission
+		// — and the fault injector's context values flow through.
+		Parent: sw.ctx,
+	}
+	if sec := sw.spec.ShardTimeoutSec; sec > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(sec * float64(time.Second)))
+	}
 	for {
-		id, err := sw.eng.jobs.Submit(name, fn)
+		id, err := sw.eng.jobs.SubmitWith(name, fn, opts)
 		switch {
 		case err == nil:
 			sw.mu.Lock()
@@ -297,9 +325,91 @@ func (sw *Sweep) markRunning(idx int) {
 	sw.mu.Unlock()
 }
 
-// finishShard records a shard's terminal state exactly once and
-// finalizes the sweep when the last shard lands.
+// shardBackoff paces in-place shard retries. Delays are small — a shard
+// retry holds a worker slot — and seeded per (sweep seed, shard index)
+// so concurrent retries don't thunder in lockstep.
+var shardBackoff = jobs.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 0x5eed}
+
+// runShard evaluates one grid point, retrying transient failures and
+// contained panics in place up to the spec's retry budget. Every
+// attempt re-evaluates the same Point — same derived seed — so a
+// retried shard's output is byte-identical to a first-try one.
+func (sw *Sweep) runShard(ctx context.Context, idx int, pt Point) (*ShardResult, error) {
+	retries := sw.spec.shardRetries()
+	var (
+		sr  *ShardResult
+		err error
+	)
+	for attempt := 1; ; attempt++ {
+		if ferr := faults.Fire(ctx, faults.SiteSweepShard); ferr != nil {
+			sr, err = nil, ferr
+		} else {
+			spanCtx, sp := telemetry.StartSpan(ctx, fmt.Sprintf("sweep/%s/shard/%d", sw.ID, idx))
+			sr, err = safeEvalPoint(spanCtx, sw.spec, pt)
+			sp.End()
+		}
+		if err == nil || ctx.Err() != nil || !jobs.IsTransient(err) || attempt > retries {
+			return sr, err
+		}
+		sw.noteRetry(idx)
+		t := time.NewTimer(shardBackoff.Delay(sw.spec.Seed+uint64(idx), attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// noteRetry records one in-place retry of the shard at idx.
+func (sw *Sweep) noteRetry(idx int) {
+	sw.mu.Lock()
+	sw.shards[idx].retries++
+	sw.retried++
+	sw.mu.Unlock()
+	mShardRetries.Inc()
+}
+
+// panicError is a contained shard-evaluation panic. It classifies as
+// transient so the retry loop re-runs the shard — the acceptance story
+// of the fault harness: a panicking kernel costs one retry, not the
+// daemon.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("shard panic: %v", p.val) }
+
+// Transient marks contained panics retryable (see jobs.IsTransient).
+func (p *panicError) Transient() bool { return true }
+
+// Stack returns the goroutine stack captured where the panic happened.
+func (p *panicError) Stack() []byte { return p.stack }
+
+// safeEvalPoint is evalPoint with panic containment: a panicking kernel
+// is converted into a *panicError carrying the original stack instead
+// of unwinding the worker.
+func safeEvalPoint(ctx context.Context, spec Spec, pt Point) (sr *ShardResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var stack []byte
+			if s, ok := r.(interface{ Stack() []byte }); ok {
+				stack = s.Stack()
+			} else {
+				stack = debug.Stack()
+			}
+			sr, err = nil, &panicError{val: r, stack: stack}
+		}
+	}()
+	return evalPoint(ctx, spec, pt)
+}
+
+// finishShard records a shard's terminal state exactly once, trips the
+// failure budget, and finalizes the sweep when the last shard lands.
 func (sw *Sweep) finishShard(idx int, state ShardState, sr *ShardResult, err error) {
+	abort := false
 	sw.mu.Lock()
 	if sw.shards[idx].state.terminal() {
 		sw.mu.Unlock()
@@ -309,9 +419,19 @@ func (sw *Sweep) finishShard(idx int, state ShardState, sr *ShardResult, err err
 	if err != nil {
 		sw.shards[idx].err = err.Error()
 	}
-	if state == ShardDone {
+	switch state {
+	case ShardDone:
 		sw.results[idx] = sr
 		mShardsCompleted.Inc()
+	case ShardFailed:
+		sw.failed++
+		if sw.failErr == "" {
+			sw.failErr = fmt.Sprintf("shard %d: %v", idx, err)
+		}
+		if sw.failed > sw.spec.FailureBudget && !sw.aborted {
+			sw.aborted = true
+			abort = true
+		}
 	}
 	sw.progress.Add(1)
 	sw.remaining--
@@ -320,10 +440,20 @@ func (sw *Sweep) finishShard(idx int, state ShardState, sr *ShardResult, err err
 		sw.finalizeLocked()
 	}
 	sw.mu.Unlock()
+	if abort {
+		// Fail fast: cancel the sweep context outside the lock so
+		// pending shards never run and running ones stop at their next
+		// cancellation poll. The sweep still finalizes as Failed (not
+		// Cancelled) — see finalizeLocked.
+		sw.cancel()
+	}
 }
 
 // finalizeLocked computes the sweep's terminal state; callers hold
-// sw.mu.
+// sw.mu. Precedence: an explicit user Cancel wins; then any permanent
+// shard failure — including a failure-budget abort, whose collateral
+// cancelled shards don't mask the cause — fails the sweep; then
+// cancellation; else done.
 func (sw *Sweep) finalizeLocked() {
 	anyFailed, anyCancelled := false, false
 	for i := range sw.shards {
@@ -335,10 +465,12 @@ func (sw *Sweep) finalizeLocked() {
 		}
 	}
 	switch {
+	case sw.userCancel:
+		sw.state = Cancelled
+	case anyFailed || sw.aborted:
+		sw.state = Failed
 	case anyCancelled:
 		sw.state = Cancelled
-	case anyFailed:
-		sw.state = Failed
 	default:
 		sw.state = Done
 	}
@@ -357,6 +489,7 @@ func (sw *Sweep) Cancel() bool {
 		sw.mu.Unlock()
 		return false
 	}
+	sw.userCancel = true // the final state reads Cancelled even if shards failed
 	sw.mu.Unlock()
 
 	// Cancel the sweep context first: the dispatcher stops submitting,
@@ -428,12 +561,17 @@ func (sw *Sweep) Snapshot() Snapshot {
 		Created:  sw.created,
 		Finished: sw.finished,
 		Total:    len(sw.points),
+		Retried:  sw.retried,
+	}
+	if sw.state == Failed {
+		snap.Error = sw.failErr
 	}
 	snap.Shards = make([]ShardSnapshot, len(sw.shards))
 	for i := range sw.shards {
 		s := &sw.shards[i]
 		snap.Shards[i] = ShardSnapshot{
-			Index: i, State: s.state, Cached: s.cached, JobID: s.jobID, Error: s.err,
+			Index: i, State: s.state, Cached: s.cached, Retries: s.retries,
+			JobID: s.jobID, Error: s.err,
 		}
 		switch s.state {
 		case ShardDone:

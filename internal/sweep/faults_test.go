@@ -1,0 +1,267 @@
+package sweep
+
+// Fault-injection suite for the shard retry, failure-budget and
+// determinism contracts. Every test arms a deterministic
+// faults.Injector and threads it through SubmitCtx, so fault schedules
+// replay identically run over run — the CI chaos job re-runs this file
+// under -race across a fixed seed matrix (NTVSIM_FAULT_SEED).
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/faults"
+)
+
+// faultSeed is the chaos-matrix seed: CI varies NTVSIM_FAULT_SEED so
+// the Prob-rule schedules differ per matrix leg while each leg stays
+// deterministic.
+func faultSeed(t *testing.T) uint64 {
+	t.Helper()
+	s := os.Getenv("NTVSIM_FAULT_SEED")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("NTVSIM_FAULT_SEED=%q: %v", s, err)
+	}
+	return n
+}
+
+// renderAll serializes a merged Result every way the service can emit
+// it, so byte-identity checks cover the full artifact surface.
+func renderAll(t *testing.T, r *Result) string {
+	t.Helper()
+	js, err := json.Marshal(r.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	for _, row := range r.CSV() {
+		csv.WriteString(strings.Join(row, ","))
+		csv.WriteByte('\n')
+	}
+	return r.Render() + "\n" + csv.String() + "\n" + string(js)
+}
+
+// runFaulty submits the spec with the given injector armed and requires
+// the sweep to converge to Done.
+func runFaulty(t *testing.T, eng *Engine, spec Spec, in *faults.Injector) Snapshot {
+	t.Helper()
+	sw, err := eng.SubmitCtx(faults.With(context.Background(), in), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 120*time.Second)
+	if snap.State != Done {
+		t.Fatalf("faulty sweep ended %s (error %q), want done via retries", snap.State, snap.Error)
+	}
+	return snap
+}
+
+// TestShardRetryByteIdentical is the satellite property test: a shard
+// retried K times under injected transient errors merges byte-identically
+// to the zero-fault serial sweep.
+func TestShardRetryByteIdentical(t *testing.T) {
+	clean, err := RunSerial(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, clean)
+
+	const k = 2 // each tripped shard attempt fails twice, then succeeds on the third
+	eng := newTestEngine(t, 2, 16)
+	in := faults.New(faultSeed(t), faults.Rule{
+		Site: faults.SiteSweepShard, Kind: faults.KindError, After: 1, Times: k,
+	})
+	snap := runFaulty(t, eng, tinySpec(), in)
+	if in.Fired() != k {
+		t.Fatalf("injector fired %d times, want %d", in.Fired(), k)
+	}
+	if snap.Retried < k {
+		t.Fatalf("snapshot reports %d retries, want >= %d", snap.Retried, k)
+	}
+	sw, _ := eng.Get(snap.ID)
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("retried sweep is not byte-identical to the fault-free serial run")
+	}
+}
+
+// TestShardPanicRetryByteIdentical is the acceptance test: a panic
+// injected into a running shard's sampling loop leaves the process
+// alive, the shard retries, and the merged result is byte-identical to
+// the fault-free run.
+func TestShardPanicRetryByteIdentical(t *testing.T) {
+	clean, err := RunSerial(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, clean)
+
+	eng := newTestEngine(t, 2, 16)
+	in := faults.New(faultSeed(t), faults.Rule{
+		// Panic mid-evaluation: the third chunk poll of the whole run —
+		// inside whichever shard gets there first.
+		Site: faults.SiteMonteCarloChunk, Kind: faults.KindPanic, After: 3,
+	})
+	snap := runFaulty(t, eng, tinySpec(), in)
+	if in.Fired() != 1 {
+		t.Fatalf("injector fired %d times, want 1", in.Fired())
+	}
+	if snap.Retried == 0 {
+		t.Fatal("no shard reports a retry after the injected panic")
+	}
+	sw, _ := eng.Get(snap.ID)
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("panic-retried sweep is not byte-identical to the fault-free run")
+	}
+}
+
+// TestFailureBudgetFailsFast pins the budget semantics: permanent
+// failures beyond the budget abort the sweep as Failed (not Cancelled),
+// cancel the remainder, and record the first failure.
+func TestFailureBudgetFailsFast(t *testing.T) {
+	eng := newTestEngine(t, 1, 16)
+	in := faults.New(faultSeed(t), faults.Rule{
+		Site: faults.SiteSweepShard, Kind: faults.KindError,
+		Permanent: true, Times: 1 << 30, Msg: "dead node",
+	})
+	spec := tinySpec()
+	spec.MaxShardRetries = -1 // no retries: every evaluation fails permanently
+	spec.FailureBudget = 1    // tolerate one failed shard, abort on the second
+	sw, err := eng.SubmitCtx(faults.With(context.Background(), in), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 60*time.Second)
+	if snap.State != Failed {
+		t.Fatalf("sweep ended %s, want failed", snap.State)
+	}
+	if snap.Failed != 2 {
+		t.Fatalf("%d shards failed, want exactly budget+1 = 2", snap.Failed)
+	}
+	if snap.Cancelled == 0 || snap.Completed != 0 {
+		t.Fatalf("remainder not cancelled: %d cancelled, %d completed", snap.Cancelled, snap.Completed)
+	}
+	if !strings.Contains(snap.Error, "dead node") || !strings.HasPrefix(snap.Error, "shard ") {
+		t.Fatalf("snapshot error %q does not carry the first shard failure", snap.Error)
+	}
+	if _, ok := sw.Result(); ok {
+		t.Fatal("failed sweep handed out a merged result")
+	}
+}
+
+// TestShardTimeoutCountsAgainstBudget wedges every evaluation and
+// bounds shards with a tiny timeout: the sweep must fail fast via the
+// budget with a timeout error, not hang.
+func TestShardTimeoutCountsAgainstBudget(t *testing.T) {
+	eng := newTestEngine(t, 2, 16)
+	in := faults.New(faultSeed(t), faults.Rule{
+		Site: faults.SiteSweepShard, Kind: faults.KindWedge, Times: 1 << 30,
+	})
+	spec := tinySpec()
+	spec.MaxShardRetries = -1
+	spec.ShardTimeoutSec = 0.05
+	sw, err := eng.SubmitCtx(faults.With(context.Background(), in), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 60*time.Second)
+	if snap.State != Failed {
+		t.Fatalf("wedged sweep ended %s, want failed via shard timeouts", snap.State)
+	}
+	if !strings.Contains(snap.Error, "shard timeout") {
+		t.Fatalf("error %q does not name the shard timeout", snap.Error)
+	}
+}
+
+// TestUserCancelWinsOverFailures pins the terminal-state precedence: an
+// explicit Cancel reports Cancelled even when shards already failed.
+func TestUserCancelWinsOverFailures(t *testing.T) {
+	eng := newTestEngine(t, 1, 16)
+	in := faults.New(faultSeed(t),
+		// The first shard fails permanently; every later one wedges until
+		// cancellation, keeping the sweep alive for the Cancel below.
+		faults.Rule{Site: faults.SiteSweepShard, Kind: faults.KindError,
+			Permanent: true, After: 1, Msg: "one bad shard"},
+		faults.Rule{Site: faults.SiteSweepShard, Kind: faults.KindWedge,
+			After: 2, Times: 1 << 30},
+	)
+	spec := tinySpec()
+	spec.MaxShardRetries = -1
+	spec.FailureBudget = len(tinySpec().Grid()) // never aborts on its own
+	sw, err := eng.SubmitCtx(faults.With(context.Background(), in), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the injected failure to land, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for sw.Snapshot().Failed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("injected shard failure never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sw.Cancel()
+	if snap := waitDone(t, sw, 30*time.Second); snap.State != Cancelled {
+		t.Fatalf("user-cancelled sweep ended %s, want cancelled", snap.State)
+	}
+}
+
+// TestChaosConvergesAndStaysDeterministic is the chaos-matrix property:
+// under seeded random transient faults and panics (bounded, so
+// convergence is guaranteed), the sweep still completes and its merged
+// result is byte-identical to the fault-free serial run — for every
+// seed in the CI matrix.
+func TestChaosConvergesAndStaysDeterministic(t *testing.T) {
+	clean, err := RunSerial(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, clean)
+
+	spec := tinySpec()
+	spec.MaxShardRetries = 100 // generous: bounded fault counts below guarantee convergence
+	eng := newTestEngine(t, 2, 16)
+	in := faults.New(faultSeed(t),
+		faults.Rule{Site: faults.SiteSweepShard, Kind: faults.KindError, Prob: 0.4, Times: 20},
+		faults.Rule{Site: faults.SiteMonteCarloChunk, Kind: faults.KindPanic, Prob: 0.1, Times: 10},
+		faults.Rule{Site: faults.SiteExperimentRun, Kind: faults.KindError, Prob: 0.2, Times: 10},
+	)
+	snap := runFaulty(t, eng, spec, in)
+	t.Logf("seed %d: %d faults fired, %d shard retries", faultSeed(t), in.Fired(), snap.Retried)
+	sw, _ := eng.Get(snap.ID)
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("chaos run is not byte-identical to the fault-free serial run")
+	}
+
+	// And the survivors are real cache entries: an immediate clean
+	// resubmission is served fully from the cache.
+	sw2, err := eng.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := waitDone(t, sw2, 60*time.Second)
+	if snap2.State != Done || snap2.Cached != snap2.Total {
+		t.Fatalf("resubmission after chaos: state=%s cached=%d/%d, want all cached",
+			snap2.State, snap2.Cached, snap2.Total)
+	}
+}

@@ -28,6 +28,20 @@
 // recomputation; the ntvsim_sweep_shards_cached counter tallies those
 // hits. A sweep interrupted mid-run therefore resumes for free: its
 // finished shards are cache hits on the next submission.
+//
+// # Fault tolerance
+//
+// A shard whose evaluation fails transiently — or panics — is retried
+// in place up to Spec.MaxShardRetries times with short seeded backoff;
+// because the shard seed is a pure function of (sweep seed, index), a
+// retried shard's output is byte-identical to a first-try one, so
+// retries never perturb the merged result. Panics are contained by the
+// shard runner (the daemon stays up) and treated as retryable. Shards
+// that fail permanently count against Spec.FailureBudget; once the
+// budget is exceeded the sweep cancels its remaining shards and
+// finishes Failed fast, recording the first failure in its Snapshot.
+// Spec.ShardTimeoutSec bounds each shard's lifetime via a per-job
+// deadline. See docs/ROBUSTNESS.md for the full taxonomy.
 package sweep
 
 import (
@@ -78,6 +92,40 @@ type Spec struct {
 	Vdd        *VddAxis `json:"vdd,omitempty"`
 	Samples    []int    `json:"samples,omitempty"`
 	Seed       uint64   `json:"seed,omitempty"`
+
+	// MaxShardRetries is how many times a transiently-failed shard
+	// evaluation is re-run in place before the shard fails. Zero means
+	// DefaultShardRetries; negative disables retries. Retries re-derive
+	// the identical (sweep seed, index) shard seed, so a retried shard's
+	// output is byte-identical to a first-try one. Not part of the shard
+	// cache key.
+	MaxShardRetries int `json:"max_shard_retries,omitempty"`
+	// FailureBudget is how many shards may fail permanently before the
+	// sweep aborts fast: when the count exceeds the budget, remaining
+	// shards are cancelled and the sweep finishes Failed. Zero (the
+	// default) aborts on the first permanently-failed shard.
+	FailureBudget int `json:"failure_budget,omitempty"`
+	// ShardTimeoutSec bounds each shard's lifetime — queue wait plus
+	// every evaluation attempt — as a per-shard job deadline. A timed-out
+	// shard fails (counting against the budget); zero means no timeout.
+	ShardTimeoutSec float64 `json:"shard_timeout_seconds,omitempty"`
+}
+
+// DefaultShardRetries is the per-shard transient-failure retry budget
+// when the spec leaves MaxShardRetries zero.
+const DefaultShardRetries = 2
+
+// shardRetries resolves the spec's retry budget: zero means the
+// default, negative means none.
+func (s Spec) shardRetries() int {
+	switch {
+	case s.MaxShardRetries < 0:
+		return 0
+	case s.MaxShardRetries == 0:
+		return DefaultShardRetries
+	default:
+		return s.MaxShardRetries
+	}
 }
 
 // Point is one expanded grid coordinate. Seed is the shard's derived
@@ -121,6 +169,12 @@ func (s Spec) Normalized() (Spec, error) {
 		if n <= 0 {
 			return Spec{}, fmt.Errorf("sweep: sample count %d must be positive", n)
 		}
+	}
+	if s.FailureBudget < 0 {
+		return Spec{}, fmt.Errorf("sweep: failure budget %d must not be negative", s.FailureBudget)
+	}
+	if s.ShardTimeoutSec < 0 || math.IsNaN(s.ShardTimeoutSec) {
+		return Spec{}, fmt.Errorf("sweep: shard timeout %g must not be negative", s.ShardTimeoutSec)
 	}
 
 	if s.Experiment != "" {
