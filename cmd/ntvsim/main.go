@@ -9,12 +9,14 @@
 //	ntvsim -sweep @spec.json [-o dir]
 //
 // Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12
-// table1 table2 table3 table4 ks synctium, the extensions ablation
-// corners itd yield, or "all" (the default).
+// table1 table2 table3 table4 ks synctium, the extensions ablation app
+// corners itd tailyield yield, or "all" (the default).
 //
 // -sweep runs a parameter sweep serially in-process (the same grid the
 // ntvsimd service shards across its worker pool; see docs/SWEEPS.md for
-// the spec grammar). The spec is inline JSON or @file.
+// the spec grammar). The spec is inline JSON or @file. Tail-yield
+// metrics accept the sampler knobs ("sampler": "mc" | "is", tail_sigma,
+// is_shift, is_mix) described in docs/SAMPLING.md.
 package main
 
 import (
@@ -48,7 +50,7 @@ func main() {
 		}
 		fmt.Println("\nsweep metrics (for -sweep):")
 		for _, k := range sweep.Kernels() {
-			fmt.Printf("  %-14s %s\n", k.ID, k.Description)
+			fmt.Printf("  %-16s %s\n", k.ID, k.Description)
 		}
 		return
 	}

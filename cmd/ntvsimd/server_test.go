@@ -342,3 +342,38 @@ func TestQueueFullMapsTo503(t *testing.T) {
 		pollDone(t, ts.URL, id, 30*time.Second)
 	}
 }
+
+func TestListKernels(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, out := doJSON(t, http.MethodGet, ts.URL+"/v1/kernels", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	objs, _ := out["kernels"].([]any)
+	byID := map[string]map[string]any{}
+	for _, item := range objs {
+		obj, _ := item.(map[string]any)
+		id, _ := obj["id"].(string)
+		byID[id] = obj
+	}
+	for _, id := range []string{"chain3sigma", "p99chipclock", "p99chipclock_is", "tailyield", "yield_is"} {
+		if byID[id] == nil {
+			t.Fatalf("kernel %q missing from %v", id, objs)
+		}
+	}
+	if s, _ := byID["yield_is"]["sampler"].(string); s != "is" {
+		t.Errorf("yield_is sampler = %v", byID["yield_is"]["sampler"])
+	}
+	if tw, _ := byID["yield_is"]["twin"].(string); tw != "tailyield" {
+		t.Errorf("yield_is twin = %v", byID["yield_is"]["twin"])
+	}
+	if tw, _ := byID["tailyield"]["twin"].(string); tw != "yield_is" {
+		t.Errorf("tailyield twin = %v", byID["tailyield"]["twin"])
+	}
+	if s, _ := byID["chain3sigma"]["sampler"].(string); s != "mc" {
+		t.Errorf("chain3sigma sampler = %v", byID["chain3sigma"]["sampler"])
+	}
+	if desc, _ := byID["p99chipclock_is"]["description"].(string); desc == "" {
+		t.Error("p99chipclock_is has no description")
+	}
+}

@@ -215,3 +215,41 @@ func (s *server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 }
+
+// kernelPayload is the wire form of one sweep metric kernel in the
+// GET /v1/kernels listing. Sampler reports which spec sampler values
+// the kernel answers to ("mc", "is"); Twin names the counterpart
+// kernel the sampler knob maps to, if any.
+type kernelPayload struct {
+	ID             string  `json:"id"`
+	Kind           string  `json:"kind"`
+	Description    string  `json:"description"`
+	Unit           string  `json:"unit,omitempty"`
+	DefaultSamples int     `json:"default_samples"`
+	Sampler        string  `json:"sampler"`
+	Twin           string  `json:"twin,omitempty"`
+	Tail           bool    `json:"tail,omitempty"`
+	DefaultShift   float64 `json:"default_shift,omitempty"`
+}
+
+// handleKernels lists the sweep metric registry as typed objects, the
+// kernel-side counterpart of GET /v1/experiments.
+func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	ks := sweep.Kernels()
+	out := make([]kernelPayload, 0, len(ks))
+	for _, k := range ks {
+		p := kernelPayload{
+			ID: k.ID, Kind: string(k.Kind), Description: k.Description,
+			Unit: k.Unit, DefaultSamples: k.DefaultSamples,
+			Sampler: "mc", Tail: k.Tail, DefaultShift: k.DefaultShift,
+		}
+		if k.IS {
+			p.Sampler = "is"
+			p.Twin = k.MCTwin
+		} else {
+			p.Twin = k.ISTwin
+		}
+		out = append(out, p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+}

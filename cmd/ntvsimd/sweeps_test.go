@@ -217,3 +217,60 @@ func TestSweepEvents(t *testing.T) {
 		t.Errorf("events for unknown sweep: %d %v", code, out)
 	}
 }
+
+// TestSweepISEndToEnd submits an importance-sampling sweep through the
+// v1 surface: the sampler knob is normalized onto the twin kernel in
+// the echoed spec, and the merged result carries per-point weight
+// diagnostics.
+func TestSweepISEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, out := doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"metric":     "tailyield",
+		"sampler":    "is",
+		"tail_sigma": 2,
+		"nodes":      []string{"22nm"},
+		"vdd":        map[string]any{"from": 0.50, "to": 0.50, "step": 0.05},
+		"samples":    []int{2000},
+		"seed":       20120603,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d (%v)", code, out)
+	}
+	spec, _ := out["spec"].(map[string]any)
+	if spec["metric"] != "yield_is" || spec["sampler"] != "is" {
+		t.Fatalf("sampler knob not normalized: %v", spec)
+	}
+	if spec["is_shift"].(float64) != 2 || spec["is_mix"].(float64) != 0.25 {
+		t.Errorf("proposal defaults not echoed: %v", spec)
+	}
+
+	id, _ := out["id"].(string)
+	sw := pollSweepDone(t, ts.URL, id, 2*time.Minute)
+	if sw["state"] != "done" {
+		t.Fatalf("sweep finished as %v: %v", sw["state"], sw["shards"])
+	}
+	results, _ := sw["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("%d merged points", len(results))
+	}
+	point, _ := results[0].(map[string]any)
+	diag, _ := point["is"].(map[string]any)
+	if diag == nil {
+		t.Fatalf("merged point lacks IS diagnostics: %v", point)
+	}
+	if diag["ess"].(float64) <= 0 || diag["n"].(float64) != 2000 {
+		t.Errorf("implausible diagnostics %v", diag)
+	}
+	// ~22750 ppm at the 2σ target; generous tolerance for a 2000-sample run.
+	if v := point["value"].(float64); v < 10000 || v > 40000 {
+		t.Errorf("2-sigma tail loss %v ppm implausible", v)
+	}
+
+	// Unknown sampler values are rejected with the typed envelope.
+	code, out = doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"metric": "tailyield", "sampler": "bogus",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad sampler: status %d (%v)", code, out)
+	}
+}

@@ -29,15 +29,22 @@
 //	internal/ssta        analytic (Clark) timing cross-check
 //	internal/corners     corner signoff with OCV derates
 //	internal/yield       parametric yield-vs-clock curves
+//	internal/importance  rare-event importance sampler: defensive-mixture
+//	                     proposals, self-normalized weighted estimators,
+//	                     ESS diagnostics (docs/SAMPLING.md)
 //	internal/experiments one constructor per paper artifact + registry
 //	internal/jobs        bounded worker pool, per-job cancellation
+//	internal/sweep       sharded parameter-sweep engine, MC/IS twin kernels
 //	internal/resultcache content-addressed LRU for experiment results
+//	internal/telemetry   stdlib-only metrics, spans and progress reporters
+//	internal/faults      deterministic fault injection for robustness tests
 //	internal/optimize, internal/report   numerical/rendering substrate
 //
-//	cmd/ntvsim     CLI: regenerate any/all tables and figures
-//	cmd/ntvsimd    HTTP daemon: job API, result cache, metrics, pprof
-//	cmd/sodarun    run kernels on the PE simulator
-//	cmd/calibrate  re-fit device parameters to the paper anchors
+//	cmd/ntvsim      CLI: regenerate any/all tables and figures, run sweeps
+//	cmd/ntvsimd     HTTP daemon: job+sweep API, result cache, metrics, pprof
+//	cmd/ntvsimbench benchmark runner writing BENCH_<date>.json snapshots
+//	cmd/sodarun     run kernels on the PE simulator
+//	cmd/calibrate   re-fit device parameters to the paper anchors
 //
 // # Data flow
 //
@@ -73,7 +80,14 @@
 // scheduling orders, cancellation-aware entry points included. This is
 // what makes golden tests stable and result caching sound.
 //
+// The importance sampler extends this contract to weighted
+// estimation: rare-event tail-yield kernels come in MC/IS twin pairs
+// sharing one estimand, and a sharded importance-sampling sweep
+// merges byte-identical to a serial run (docs/SAMPLING.md is the
+// statistical contract).
+//
 // Start with README.md, DESIGN.md (system inventory, modeling
 // decisions, per-experiment index), EXPERIMENTS.md (paper-vs-measured
-// for every artifact) and docs/API.md (the HTTP surface).
+// for every artifact), docs/API.md (the HTTP surface) and
+// docs/SAMPLING.md (the estimator contract).
 package ntvsim

@@ -1,0 +1,169 @@
+package ntvsim
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The documentation is part of the contract, so it is linted like
+// code: every fenced Go snippet must be gofmt-clean, and every
+// relative markdown link must resolve to a file in the repository.
+// CI runs these tests in the blocking docs-lint step.
+
+// lintedDocs returns the markdown files under lint: the root documents
+// and everything in docs/.
+func lintedDocs(t *testing.T) []string {
+	t.Helper()
+	files := []string{
+		"README.md", "DESIGN.md", "EXPERIMENTS.md",
+		"PAPER.md", "ROADMAP.md", "CHANGES.md",
+	}
+	entries, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, entries...)
+}
+
+// goFences extracts the bodies of ```go fenced blocks with their
+// starting line numbers.
+func goFences(src string) []struct {
+	line int
+	body string
+} {
+	var out []struct {
+		line int
+		body string
+	}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		out = append(out, struct {
+			line int
+			body string
+		}{line: start + 1, body: strings.Join(lines[start:j], "\n")})
+		i = j
+	}
+	return out
+}
+
+// formatSnippet runs a doc snippet through go/format. Snippets may be
+// a full file (package clause), declarations, or bare statements; the
+// last two are wrapped the way godoc playground snippets are.
+func formatSnippet(body string) error {
+	trimmed := strings.TrimSpace(body)
+	if trimmed == "" {
+		return fmt.Errorf("empty go fence")
+	}
+	if strings.HasPrefix(trimmed, "package ") {
+		return checkFormatted(body, body, "")
+	}
+	if strings.HasPrefix(trimmed, "func ") || strings.HasPrefix(trimmed, "type ") ||
+		strings.HasPrefix(trimmed, "var ") || strings.HasPrefix(trimmed, "const ") ||
+		strings.HasPrefix(trimmed, "import ") {
+		return checkFormatted("package p\n\n"+body, body, "")
+	}
+	// Statement snippet: indent by one tab and wrap in a function.
+	var b strings.Builder
+	for _, ln := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if ln == "" {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString("\t" + ln + "\n")
+	}
+	return checkFormatted("package p\n\nfunc _() {\n"+b.String()+"}\n", body, "\t")
+}
+
+// checkFormatted formats src and verifies the snippet portion came
+// back unchanged (modulo the added indent), i.e. the snippet was
+// already gofmt-styled.
+func checkFormatted(src, snippet, indent string) error {
+	formatted, err := format.Source([]byte(src))
+	if err != nil {
+		return err
+	}
+	want := strings.TrimSpace(snippet)
+	got := string(formatted)
+	if indent != "" {
+		// Strip the wrapper indent from every line before comparing.
+		var lines []string
+		for _, ln := range strings.Split(got, "\n") {
+			lines = append(lines, strings.TrimPrefix(ln, indent))
+		}
+		got = strings.Join(lines, "\n")
+	}
+	for _, ln := range strings.Split(want, "\n") {
+		if !strings.Contains(got, ln) {
+			return fmt.Errorf("not gofmt-clean at %q", ln)
+		}
+	}
+	return nil
+}
+
+// TestDocsGoSnippetsFormatted runs every fenced ```go block in the
+// linted documents through gofmt.
+func TestDocsGoSnippetsFormatted(t *testing.T) {
+	fences := 0
+	for _, path := range lintedDocs(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range goFences(string(src)) {
+			fences++
+			if err := formatSnippet(f.body); err != nil {
+				t.Errorf("%s:%d: %v", path, f.line, err)
+			}
+		}
+	}
+	if fences == 0 {
+		t.Fatal("no ```go fences found — lint extraction broken?")
+	}
+}
+
+// mdLink matches inline markdown links; bare URLs and reference-style
+// links are out of scope.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinksResolve checks that every relative link in the
+// linted documents points at an existing file.
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	links := 0
+	for _, path := range lintedDocs(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Links inside fenced code blocks are examples, not references.
+		stripped := regexp.MustCompile("(?s)```.*?```").ReplaceAllString(string(src), "")
+		for _, m := range mdLink.FindAllStringSubmatch(stripped, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			links++
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", path, m[1], resolved)
+			}
+		}
+	}
+	if links == 0 {
+		t.Fatal("no relative links found — lint extraction broken?")
+	}
+}

@@ -27,7 +27,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation", "app", "corners", "fig1", "fig11", "fig12", "fig2",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "itd",
-		"ks", "synctium", "table1", "table2", "table3", "table4", "yield",
+		"ks", "synctium", "table1", "table2", "table3", "table4",
+		"tailyield", "yield",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,75 @@
+package importance
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Allocation-regression tests in the montecarlo style: single-worker so
+// the budget is exact, and every bound is per *call* — the weighted
+// sampling path must stay allocation-free per sample like the plain
+// kernel it substitutes for.
+
+// allocsSingleWorker reports AllocsPerRun for f with GOMAXPROCS pinned
+// to 1.
+func allocsSingleWorker(f func()) float64 {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	return testing.AllocsPerRun(10, f)
+}
+
+func TestSampleAllocationBound(t *testing.T) {
+	const n = 8192
+	p := Params{Shift: 4, Mix: 0.25}
+	allocs := allocsSingleWorker(func() { Sample(p, 1, n, identity) })
+	// Expected: the flat sample slab (no per-row headers), the xs/ws
+	// result slices, one worker stream, closure plumbing — constant per
+	// call.
+	if allocs > 12 {
+		t.Errorf("Sample(n=%d) allocates %v per call, want ≤ 12", n, allocs)
+	}
+	if perSample := allocs / n; perSample > 0.01 {
+		t.Errorf("Sample allocates %v per sample, want 0", perSample)
+	}
+}
+
+// TestSampleAllocationsDoNotScaleWithN states the amortization property
+// directly: quadrupling the sample count must not change the per-call
+// allocation count.
+func TestSampleAllocationsDoNotScaleWithN(t *testing.T) {
+	p := Params{Shift: 3, Mix: 0.25}
+	small := allocsSingleWorker(func() { Sample(p, 3, 1024, identity) })
+	large := allocsSingleWorker(func() { Sample(p, 3, 4096, identity) })
+	if large > small {
+		t.Errorf("Sample allocations scale with n: %v @1024 vs %v @4096", small, large)
+	}
+}
+
+// TestWStreamAllocationFree pins the reduction side: accumulating and
+// merging weighted moments must never touch the heap.
+func TestWStreamAllocationFree(t *testing.T) {
+	var s, o WStream
+	o.Add(1, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Add(2.5, 0.7)
+		s.Merge(&o)
+	})
+	if allocs != 0 {
+		t.Errorf("WStream Add+Merge allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestTailProbAllocationFree keeps the estimator pass allocation-free
+// over retained sample slabs.
+func TestTailProbAllocationFree(t *testing.T) {
+	xs := make([]float64, 4096)
+	ws := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = float64(i)
+		ws[i] = 1
+	}
+	allocs := testing.AllocsPerRun(20, func() { TailProb(xs, ws, 2048) })
+	if allocs != 0 {
+		t.Errorf("TailProb allocates %v per call, want 0", allocs)
+	}
+}

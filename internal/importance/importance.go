@@ -1,0 +1,147 @@
+// Package importance implements rare-event importance sampling for the
+// study's tail-yield questions, where plain Monte-Carlo needs ~1/p
+// samples to see a single event of probability p.
+//
+// The sampler works in the probit domain. Chip delay under the analytic
+// law is a monotone pushforward X = Q(Φ(Z)) of one standard Gaussian
+// coordinate Z through the chip quantile function Q (see
+// simd.Datapath.ChipQuantileFn), itself built from the per-lane V_th
+// Gaussians. Instead of drawing Z from the nominal φ(z), the proposal is
+// a defensive two-component mixture
+//
+//	q(z) = mix·φ(z) + (1−mix)·φ(z−shift)
+//
+// that keeps a mix-fraction of mass on the nominal distribution and
+// shifts the rest by shift standard deviations toward the tail of
+// interest. Each draw carries the self-normalized likelihood weight
+//
+//	w(z) = φ(z)/q(z) = 1 / (mix + (1−mix)·exp(shift·z − shift²/2))
+//
+// which is bounded above by 1/mix — the defensive component caps weight
+// variance, so a badly chosen shift degrades gracefully toward plain MC
+// instead of producing unbounded weights.
+//
+// Estimators over the weighted draws (WStream, TailProb,
+// WeightedQuantile) and the effective-sample-size diagnostics
+// (Diagnose) live in weighted.go; docs/SAMPLING.md is the statistical
+// contract for all of them.
+//
+// # Determinism
+//
+// SampleCtx draws through montecarlo.SampleFlatCtx, so sample index i
+// always consumes the (seed, i) rng sub-stream: results are
+// bit-identical across GOMAXPROCS and scheduling order, and sharded
+// sweeps that partition indices by seed merge byte-identical to a
+// serial run.
+package importance
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/stats"
+)
+
+// stdNormal is the standard Gaussian used for the probit map Φ and its
+// inverse.
+var stdNormal = stats.Normal{Mu: 0, Sigma: 1}
+
+// DefaultMix is the defensive mixture weight used when Params.Mix is
+// zero: a quarter of the proposal mass stays on the nominal
+// distribution, bounding every likelihood weight by 1/DefaultMix = 4.
+const DefaultMix = 0.25
+
+// Params configures the mean-shifted defensive-mixture proposal. The
+// zero value (Shift 0, Mix 0) normalizes to a pure-MC proposal with
+// the default defensive mix, i.e. unit weights.
+type Params struct {
+	// Shift is the proposal mean shift θ in standard-normal units;
+	// positive values push samples toward the upper (slow-chip) tail.
+	// A good default is the sigma level of the tail being estimated.
+	Shift float64 `json:"shift"`
+	// Mix is the defensive mixture weight λ ∈ (0, 1] kept on the
+	// unshifted nominal component. Zero means DefaultMix; 1 disables
+	// the shift entirely (plain MC with unit weights).
+	Mix float64 `json:"mix"`
+}
+
+// Normalized validates p and fills defaults: a zero Mix becomes
+// DefaultMix. It returns an error for non-finite parameters or a Mix
+// outside (0, 1] — a proposal with no defensive mass has unbounded
+// weights and is rejected rather than silently accepted.
+func (p Params) Normalized() (Params, error) {
+	if math.IsNaN(p.Shift) || math.IsInf(p.Shift, 0) {
+		return Params{}, fmt.Errorf("importance: shift must be finite, got %v", p.Shift)
+	}
+	if math.IsNaN(p.Mix) || p.Mix < 0 || p.Mix > 1 {
+		return Params{}, fmt.Errorf("importance: mix must be in (0, 1], got %v", p.Mix)
+	}
+	if p.Mix == 0 {
+		p.Mix = DefaultMix
+	}
+	return p, nil
+}
+
+// draw samples one proposal coordinate z ~ q and returns it with its
+// likelihood weight w(z) = φ(z)/q(z). It consumes exactly two variates
+// from r (one uniform for the mixture component, one Gaussian), so the
+// per-index stream layout is fixed regardless of parameters.
+func (p Params) draw(r *rng.Stream) (z, w float64) {
+	u := r.Float64()
+	z = r.Norm()
+	if u >= p.Mix {
+		z += p.Shift
+	}
+	return z, p.weight(z)
+}
+
+// weight returns the self-normalized likelihood weight
+// w(z) = φ(z)/q(z) = 1/(mix + (1−mix)·exp(shift·z − shift²/2)),
+// bounded above by 1/mix by the defensive component.
+func (p Params) weight(z float64) float64 {
+	return 1 / (p.Mix + (1-p.Mix)*math.Exp(p.Shift*z-p.Shift*p.Shift/2))
+}
+
+// Sample is SampleCtx with a background context.
+func Sample(p Params, seed uint64, n int, fn func(u float64) float64) (xs, ws []float64) {
+	xs, ws, _ = SampleCtx(context.Background(), p, seed, n, fn)
+	return xs, ws
+}
+
+// SampleCtx draws n importance-weighted samples of the pushforward
+// X = fn(Φ(Z)) with Z from the proposal, returning values and their
+// likelihood weights in sample-index order. fn is typically a chip
+// quantile function (simd.Datapath.ChipQuantileFn), making X a chip
+// delay; it must be safe for concurrent calls.
+//
+// Draws run through montecarlo.SampleFlatCtx: sample i consumes the
+// (seed, i) rng sub-stream, so output is bit-identical across
+// GOMAXPROCS and cancellable via ctx. The flat (pointer-free) sampling
+// path matters at rare-event sample counts: tens of millions of draws
+// allocate two column slices and one slab, never a GC-scannable header
+// per sample. The returned slices are independently owned by the
+// caller.
+func SampleCtx(ctx context.Context, p Params, seed uint64, n int, fn func(u float64) float64) (xs, ws []float64, err error) {
+	p, err = p.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	flat, err := montecarlo.SampleFlatCtx(ctx, seed, n, 2, func(r *rng.Stream, dst []float64) {
+		z, w := p.draw(r)
+		dst[0] = fn(stdNormal.CDF(z))
+		dst[1] = w
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	xs = make([]float64, n)
+	ws = make([]float64, n)
+	for i := range xs {
+		xs[i], ws[i] = flat[2*i], flat[2*i+1]
+	}
+	samplesTotal.Add(float64(n))
+	return xs, ws, nil
+}

@@ -1,0 +1,33 @@
+package importance
+
+import "github.com/ntvsim/ntvsim/internal/telemetry"
+
+// Package telemetry, registered on the process-wide registry and
+// documented in docs/OBSERVABILITY.md:
+//
+//	ntvsim_is_samples_total     counter  weighted samples drawn
+//	ntvsim_is_ess_ratio         gauge    ESS/N of the last diagnosed population
+//	ntvsim_is_max_weight        gauge    max raw weight of the last diagnosed population
+//	ntvsim_is_degenerate_total  counter  populations flagged degenerate
+var (
+	samplesTotal = telemetry.Default.Counter("ntvsim_is_samples_total",
+		"Importance-sampling weighted samples drawn since process start.")
+	essRatio = telemetry.Default.Gauge("ntvsim_is_ess_ratio",
+		"ESS/N of the most recently diagnosed importance-weight population.")
+	maxWeight = telemetry.Default.Gauge("ntvsim_is_max_weight",
+		"Largest raw likelihood weight in the most recently diagnosed population.")
+	degenerateTotal = telemetry.Default.Counter("ntvsim_is_degenerate_total",
+		"Importance-weight populations flagged degenerate (ESS/N below threshold).")
+)
+
+// publish pushes one diagnostics block to the package gauges.
+func publish(d Diagnostics) {
+	if d.N == 0 {
+		return
+	}
+	essRatio.Set(d.ESSFrac)
+	maxWeight.Set(d.MaxW)
+	if d.Degenerate {
+		degenerateTotal.Inc()
+	}
+}

@@ -1,0 +1,310 @@
+package importance
+
+import (
+	"math"
+	"sort"
+)
+
+// WStream accumulates weighted moments one observation at a time using
+// West's (1979) generalization of Welford's recurrence. The zero value
+// is ready to use. With unit weights its mean and second central moment
+// are bit-identical to stats.Stream, so plain-MC and IS reductions
+// share one numerical contract (docs/SAMPLING.md).
+type WStream struct {
+	n     int
+	sumw  float64
+	sumw2 float64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+}
+
+// Add incorporates observation x with weight w ≥ 0. Zero-weight
+// observations still count toward N and the extrema but contribute
+// nothing to the moments.
+func (s *WStream) Add(x, w float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sumw2 += w * w
+	if w == 0 {
+		return
+	}
+	s.sumw += w
+	delta := x - s.mean
+	s.mean += delta * w / s.sumw
+	s.m2 += w * delta * (x - s.mean)
+}
+
+// N returns the number of observations added so far.
+func (s *WStream) N() int { return s.n }
+
+// SumW returns the total weight added so far.
+func (s *WStream) SumW() float64 { return s.sumw }
+
+// Mean returns the self-normalized weighted mean Σwx/Σw, or NaN if no
+// weight has been added.
+func (s *WStream) Mean() float64 {
+	if s.sumw == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the weighted sample variance m2/(Σw − 1), the
+// frequency-weights form that reduces bit-identically to
+// stats.Stream.Variance under unit weights. NaN if Σw ≤ 1.
+func (s *WStream) Variance() float64 {
+	if s.sumw <= 1 {
+		return math.NaN()
+	}
+	return s.m2 / (s.sumw - 1)
+}
+
+// StdDev returns the square root of Variance.
+func (s *WStream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// ESS returns the Kish effective sample size (Σw)²/Σw²: the number of
+// unweighted samples carrying the same estimator variance. Equal to N
+// under unit weights; NaN if nothing was added.
+func (s *WStream) ESS() float64 {
+	if s.sumw2 == 0 {
+		return math.NaN()
+	}
+	return s.sumw * s.sumw / s.sumw2
+}
+
+// StdErr returns the standard error of the weighted mean approximated
+// as StdDev/√ESS — exact for unit weights, and the standard practical
+// approximation for self-normalized importance weights.
+func (s *WStream) StdErr() float64 {
+	return s.StdDev() / math.Sqrt(s.ESS())
+}
+
+// Min returns the smallest observation, or NaN if none were added.
+func (s *WStream) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN if none were added.
+func (s *WStream) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Merge combines another stream into s, as if every (x, w) added to o
+// had been added to s. Merging is associative up to floating-point
+// rounding and bit-identical to stats.Stream.Merge under unit weights,
+// so sharded importance-sampling sweeps reduce exactly like plain-MC
+// ones.
+func (s *WStream) Merge(o *WStream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	s.n += o.n
+	s.sumw2 += o.sumw2
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	if o.sumw == 0 {
+		return
+	}
+	if s.sumw == 0 {
+		s.sumw, s.mean, s.m2 = o.sumw, o.mean, o.m2
+		return
+	}
+	w1, w2 := s.sumw, o.sumw
+	delta := o.mean - s.mean
+	total := w1 + w2
+	s.mean += delta * w2 / total
+	s.m2 += o.m2 + delta*delta*w1*w2/total
+	s.sumw = total
+}
+
+// ESS returns the Kish effective sample size (Σw)²/Σw² of a weight
+// vector, or 0 for an empty or all-zero one.
+func ESS(ws []float64) float64 {
+	var sumw, sumw2 float64
+	for _, w := range ws {
+		sumw += w
+		sumw2 += w * w
+	}
+	if sumw2 == 0 {
+		return 0
+	}
+	return sumw * sumw / sumw2
+}
+
+// TailProb estimates p = Pr[X > t] from weighted samples with the
+// self-normalized estimator Σwᵢ·1{xᵢ>t}/Σwᵢ and returns it with its
+// delta-method standard error √(Σwᵢ²(1{xᵢ>t}−p̂)²)/Σwᵢ. With unit
+// weights both reduce to the usual binomial estimator and its standard
+// error. xs and ws must have equal length.
+func TailProb(xs, ws []float64, t float64) (p, stderr float64) {
+	var sumw, sumwh float64
+	for i, x := range xs {
+		sumw += ws[i]
+		if x > t {
+			sumwh += ws[i]
+		}
+	}
+	if sumw == 0 {
+		return math.NaN(), math.NaN()
+	}
+	p = sumwh / sumw
+	var v float64
+	for i, x := range xs {
+		h := 0.0
+		if x > t {
+			h = 1.0
+		}
+		d := ws[i] * (h - p)
+		v += d * d
+	}
+	return p, math.Sqrt(v) / sumw
+}
+
+// WeightedQuantile returns the q-quantile of the weighted empirical
+// distribution: the smallest sample value whose cumulative normalized
+// weight reaches q. Samples are ordered by value with ties broken by
+// original index, so the result is deterministic for any input order
+// of equal (x, w) multisets. xs and ws must have equal length and ws
+// must carry positive total weight; NaN otherwise.
+func WeightedQuantile(xs, ws []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] < xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	var sumw float64
+	for _, w := range ws {
+		sumw += w
+	}
+	if sumw <= 0 {
+		return math.NaN()
+	}
+	target := q * sumw
+	var cum float64
+	for _, i := range idx {
+		cum += ws[i]
+		if cum >= target {
+			return xs[i]
+		}
+	}
+	return xs[idx[len(idx)-1]]
+}
+
+// DegenerateESSFrac is the ESS/N ratio below which Diagnose flags a
+// weight population as degenerate. A defensive mixture with mix λ keeps
+// ESS/N near or above λ in practice, so this threshold only trips when
+// the proposal is badly mismatched to the integrand.
+const DegenerateESSFrac = 0.05
+
+// Diagnostics summarizes the health of one importance-weight
+// population. It is embedded in sweep shard results so merged sweeps
+// report weight quality per grid point.
+type Diagnostics struct {
+	// N is the number of weighted samples drawn.
+	N int `json:"n"`
+	// ESS is the Kish effective sample size (Σw)²/Σw².
+	ESS float64 `json:"ess"`
+	// ESSFrac is ESS/N ∈ (0, 1]; 1 means unit weights (plain MC).
+	ESSFrac float64 `json:"ess_frac"`
+	// MaxW is the largest raw likelihood weight observed, bounded by
+	// 1/mix for the defensive mixture proposal.
+	MaxW float64 `json:"max_weight"`
+	// Degenerate reports ESSFrac < DegenerateESSFrac: the weighted
+	// estimate is dominated by a few samples and should not be trusted
+	// over a plain-MC run of the same budget.
+	Degenerate bool `json:"degenerate,omitempty"`
+}
+
+// Diagnose computes weight diagnostics for ws and publishes them to the
+// package telemetry gauges (ntvsim_is_ess_ratio, ntvsim_is_max_weight,
+// ntvsim_is_degenerate_total).
+func Diagnose(ws []float64) Diagnostics {
+	d := Diagnostics{N: len(ws)}
+	var sumw, sumw2 float64
+	for _, w := range ws {
+		sumw += w
+		sumw2 += w * w
+		if w > d.MaxW {
+			d.MaxW = w
+		}
+	}
+	if sumw2 > 0 {
+		d.ESS = sumw * sumw / sumw2
+	}
+	if d.N > 0 {
+		d.ESSFrac = d.ESS / float64(d.N)
+		d.Degenerate = d.ESSFrac < DegenerateESSFrac
+	}
+	publish(d)
+	return d
+}
+
+// Merge folds another diagnostics block into d, as computed over the
+// concatenated weight populations. ESS is not additive, so the merged
+// ESS is reconstructed from the implied moment sums; MaxW and N
+// combine exactly. Used by the sweep engine to reduce per-shard
+// diagnostics to per-point ones.
+func (d *Diagnostics) Merge(o Diagnostics) {
+	if o.N == 0 {
+		return
+	}
+	if d.N == 0 {
+		*d = o
+		return
+	}
+	// Recover Σw and Σw² for both sides from (ESS, ESSFrac·N): with
+	// s1 = Σw and s2 = Σw², ESS = s1²/s2 determines only the ratio, so
+	// diagnostics store enough to merge ESS exactly only when weights
+	// are rescaled consistently. Shards of one sweep point share one
+	// proposal, so raw weights are on a common scale and the harmonic
+	// composition below is exact for equal-size shards and a tight
+	// approximation otherwise.
+	n1, n2 := float64(d.N), float64(o.N)
+	e1, e2 := d.ESS, o.ESS
+	merged := 0.0
+	if e1 > 0 && e2 > 0 {
+		// Σw ∝ n per shard at common scale (E[w] is shard-independent);
+		// combine via ESS = (s1+s2)²/(s1²/e1 + s2²/e2) with s ∝ n.
+		merged = (n1 + n2) * (n1 + n2) / (n1*n1/e1 + n2*n2/e2)
+	}
+	d.N += o.N
+	d.ESS = merged
+	d.ESSFrac = d.ESS / float64(d.N)
+	if o.MaxW > d.MaxW {
+		d.MaxW = o.MaxW
+	}
+	d.Degenerate = d.ESSFrac < DegenerateESSFrac
+}

@@ -62,6 +62,21 @@ func TestSampleVecAllocationBound(t *testing.T) {
 	}
 }
 
+func TestSampleFlatAllocationBound(t *testing.T) {
+	const n, width = 4096, 8
+	fn := func(r *rng.Stream, dst []float64) {
+		for i := range dst {
+			dst[i] = r.Float64()
+		}
+	}
+	allocs := allocsSingleWorker(func() { SampleFlat(1, n, width, fn) })
+	// Expected: ONE flat slab, one worker stream, closure plumbing — no
+	// row headers at all, so nothing here is pointer-dense for the GC.
+	if allocs > 6 {
+		t.Errorf("SampleFlat(n=%d,width=%d) allocates %v per call, want ≤ 6", n, width, allocs)
+	}
+}
+
 // TestAllocationsDoNotScaleWithN is the amortization property stated
 // directly: quadrupling the sample count must not change the per-call
 // allocation count (result buffers aside, which the fixed budget above

@@ -6,7 +6,7 @@
 // study (and for stable golden tests).
 //
 // Each entry point has a context-aware variant (SampleCtx, SampleVecCtx,
-// MomentsCtx) that checks for cancellation once per worker chunk of
+// SampleFlatCtx, MomentsCtx) that checks for cancellation once per worker chunk of
 // checkEvery samples. An uncancelled context changes nothing: the same
 // sub-stream derivation runs in the same index order, so results stay
 // bit-identical to the context-free variants. The package also keeps a
@@ -44,7 +44,11 @@
 // backing array, so retaining any single row retains the whole n×width
 // slab and WriteTo-style in-place reuse of a row is visible through the
 // returned matrix. Callers that need an independently-owned row must
-// copy it.
+// copy it. SampleFlat/SampleFlatCtx expose the slab itself, skipping
+// the n row headers — the right shape when n is huge and the caller
+// reads columns rather than retaining rows, because a []float64 slab is
+// opaque to the garbage collector while n slice headers are a
+// pointer-dense array it must scan.
 package montecarlo
 
 import (
@@ -120,22 +124,46 @@ func SampleVec(seed uint64, n, width int, fn func(r *rng.Stream, dst []float64))
 // same bit-identical-when-uncancelled contract as SampleCtx and the same
 // shared-slab row semantics as SampleVec.
 func SampleVecCtx(ctx context.Context, seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) ([][]float64, error) {
+	slab, err := SampleFlatCtx(ctx, seed, n, width, fn)
+	if err != nil {
+		return nil, err
+	}
+	// Rows are sliced with capacity pinned to width so an append on a
+	// returned row can never write into the next row.
 	out := make([][]float64, n)
+	for i := range out {
+		out[i] = slab[i*width : (i+1)*width : (i+1)*width]
+	}
+	return out, nil
+}
+
+// SampleFlat is SampleVec without the row views: the n×width result
+// comes back as the flat row-major slab itself, sample i occupying
+// slab[i*width : (i+1)*width].
+func SampleFlat(seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) []float64 {
+	out, _ := SampleFlatCtx(context.Background(), seed, n, width, fn)
+	return out
+}
+
+// SampleFlatCtx is SampleFlat with cooperative cancellation, under the
+// same bit-identical-when-uncancelled contract as SampleCtx. It is the
+// allocation floor of the vector path — one pointer-free slab, nothing
+// per row — so large-n callers that only read columns out of the result
+// (internal/importance) add no pointer-dense arrays for the garbage
+// collector to scan.
+func SampleFlatCtx(ctx context.Context, seed uint64, n, width int, fn func(r *rng.Stream, dst []float64)) ([]float64, error) {
 	// One row-major slab for all rows: a single allocation instead of n,
 	// and cache-friendly sequential layout for the quantile/sort passes
-	// downstream. Rows are sliced with capacity pinned to width so an
-	// append on a returned row can never write into the next row.
+	// downstream.
 	slab := make([]float64, n*width)
 	prog := telemetry.ProgressFrom(ctx)
 	prog.AddTotal(int64(n))
 	if err := parallelFor(ctx, prog, seed, n, func(i int, r *rng.Stream) {
-		row := slab[i*width : (i+1)*width : (i+1)*width]
-		fn(r, row)
-		out[i] = row
+		fn(r, slab[i*width:(i+1)*width:(i+1)*width])
 	}); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return slab, nil
 }
 
 // Moments evaluates fn for n sample indices and accumulates streaming

@@ -99,6 +99,31 @@ func TestSampleVec(t *testing.T) {
 	}
 }
 
+// TestSampleFlatMatchesSampleVec pins the layout contract: SampleFlat
+// is SampleVec minus the row headers, with sample i's row at
+// flat[i*width : (i+1)*width], bit-identical element for element.
+func TestSampleFlatMatchesSampleVec(t *testing.T) {
+	const n, width = 100, 3
+	fn := func(r *rng.Stream, dst []float64) {
+		base := r.Float64()
+		for i := range dst {
+			dst[i] = base + float64(i)
+		}
+	}
+	rows := SampleVec(5, n, width, fn)
+	flat := SampleFlat(5, n, width, fn)
+	if len(flat) != n*width {
+		t.Fatalf("flat length = %d, want %d", len(flat), n*width)
+	}
+	for i, row := range rows {
+		for j, v := range row {
+			if flat[i*width+j] != v {
+				t.Fatalf("flat[%d*%d+%d] = %v, want %v", i, width, j, flat[i*width+j], v)
+			}
+		}
+	}
+}
+
 func TestSmallN(t *testing.T) {
 	if got := Sample(1, 0, func(*rng.Stream) float64 { return 1 }); len(got) != 0 {
 		t.Error("n=0 should give empty slice")
@@ -162,6 +187,9 @@ func TestSampleCtxPreCancelled(t *testing.T) {
 	}
 	if _, err := SampleVecCtx(ctx, 1, 100, 2, func(*rng.Stream, []float64) {}); err == nil {
 		t.Error("SampleVecCtx pre-cancelled context accepted")
+	}
+	if _, err := SampleFlatCtx(ctx, 1, 100, 2, func(*rng.Stream, []float64) {}); err == nil {
+		t.Error("SampleFlatCtx pre-cancelled context accepted")
 	}
 }
 

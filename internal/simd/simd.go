@@ -27,6 +27,7 @@ package simd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -130,12 +131,14 @@ func (dp *Datapath) FO4(vdd float64) float64 {
 	return dp.Node.Dev.NominalDelay(vdd)
 }
 
-// delayLaw holds inverse-CDF tables of the path delay and the lane delay
-// (max of PathsPerLane iid paths) at one supply voltage.
+// delayLaw holds inverse-CDF tables of the path delay, the lane delay
+// (max of PathsPerLane iid paths) and the chip delay (max of Lanes iid
+// lanes) at one supply voltage.
 type delayLaw struct {
 	x     []float64 // delay grid, seconds, ascending
 	fPath []float64 // CDF of one path on the grid
 	fLane []float64 // CDF of the lane = fPath^PathsPerLane
+	fChip []float64 // CDF of the chip = fLane^Lanes (zero spares)
 }
 
 // lawGridPoints is the delay-grid resolution of the numerical law. The
@@ -190,9 +193,11 @@ func (dp *Datapath) buildLaw(vdd float64) *delayLaw {
 		x:     make([]float64, lawGridPoints),
 		fPath: make([]float64, lawGridPoints),
 		fLane: make([]float64, lawGridPoints),
+		fChip: make([]float64, lawGridPoints),
 	}
 	std := stats.Normal{Mu: 0, Sigma: 1}
 	pow := float64(dp.PathsPerLane)
+	lanes := float64(dp.Lanes)
 	for k := 0; k < lawGridPoints; k++ {
 		x := xlo + (xhi-xlo)*float64(k)/float64(lawGridPoints-1)
 		var f float64
@@ -208,6 +213,7 @@ func (dp *Datapath) buildLaw(vdd float64) *delayLaw {
 		law.x[k] = x
 		law.fPath[k] = f
 		law.fLane[k] = math.Pow(f, pow)
+		law.fChip[k] = math.Pow(law.fLane[k], lanes)
 	}
 	return law
 }
@@ -286,6 +292,75 @@ func (dp *Datapath) SamplePathDelay(r *rng.Stream, vdd float64) float64 {
 	}
 	law := dp.lawFor(vdd)
 	return invert(law.x, law.fPath, r.Float64())
+}
+
+// ErrNoAnalyticLaw is returned by the analytic chip-law accessors when
+// the datapath is configured for gate-level (Exact) or correlated
+// sampling, where no closed-form chip CDF is tabulated.
+var ErrNoAnalyticLaw = errors.New("simd: analytic chip law requires the default iid-paths law-based sampler")
+
+// analyticLaw returns the cached law tables when the datapath samples
+// from them (the paper's default iid-paths mode, zero spares).
+func (dp *Datapath) analyticLaw(vdd float64) (*delayLaw, error) {
+	if dp.Exact || dp.Corr != IIDPaths {
+		return nil, ErrNoAnalyticLaw
+	}
+	return dp.lawFor(vdd), nil
+}
+
+// ChipQuantile returns the p-quantile (seconds) of the zero-spare chip
+// delay under the numerical iid-paths law: the inverse of
+// F_chip = F_lane^Lanes on the tabulated delay grid. It is the analytic
+// counterpart of a Monte-Carlo chip-delay quantile and the reference
+// used to place high-sigma tail-yield targets (see internal/importance
+// and docs/SAMPLING.md). Only the default law-based sampler has one;
+// Exact or correlated datapaths return ErrNoAnalyticLaw.
+func (dp *Datapath) ChipQuantile(vdd, p float64) (float64, error) {
+	law, err := dp.analyticLaw(vdd)
+	if err != nil {
+		return 0, err
+	}
+	return invert(law.x, law.fChip, p), nil
+}
+
+// ChipCDF returns P(chip delay ≤ x) (zero spares) under the numerical
+// iid-paths law, by linear interpolation of the tabulated chip CDF.
+func (dp *Datapath) ChipCDF(vdd, x float64) (float64, error) {
+	law, err := dp.analyticLaw(vdd)
+	if err != nil {
+		return 0, err
+	}
+	return interpCDF(law.x, law.fChip, x), nil
+}
+
+// ChipQuantileFn returns the chip-delay quantile function u ↦ delay
+// (seconds) as a closure over the cached law table, suitable as the
+// monotone model handed to the importance-sampling engine: evaluating
+// it performs one binary search and no allocation. The law is built
+// eagerly so parallel samplers only read the cache.
+func (dp *Datapath) ChipQuantileFn(vdd float64) (func(u float64) float64, error) {
+	law, err := dp.analyticLaw(vdd)
+	if err != nil {
+		return nil, err
+	}
+	return func(u float64) float64 { return invert(law.x, law.fChip, u) }, nil
+}
+
+// interpCDF evaluates a tabulated CDF at x by linear interpolation,
+// clamping outside the grid.
+func interpCDF(xs, f []float64, x float64) float64 {
+	i := sort.SearchFloat64s(xs, x)
+	switch {
+	case i <= 0:
+		return f[0]
+	case i >= len(xs):
+		return f[len(f)-1]
+	}
+	x0, x1 := xs[i-1], xs[i]
+	if x1 == x0 {
+		return f[i]
+	}
+	return f[i-1] + (f[i]-f[i-1])*(x-x0)/(x1-x0)
 }
 
 // SampleLaneDelays draws the delays of len(dst) lanes of one chip at

@@ -304,3 +304,77 @@ func TestCorrelationModelString(t *testing.T) {
 
 // rngFor returns a deterministic stream for test sample i.
 func rngFor(i uint64) *rng.Stream { return rng.NewSub(777, int(i)) }
+
+// TestChipLawMatchesMonteCarlo validates the analytic chip CDF/quantile
+// against the Monte-Carlo chip-delay sampler they summarize: the
+// analytic p-quantile must land inside the distribution-free CI of the
+// sampled quantile, and CDF∘Quantile must be close to identity.
+func TestChipLawMatchesMonteCarlo(t *testing.T) {
+	dp := testPath()
+	const vdd = 0.55
+	ds := dp.ChipDelays(11, 4000, vdd, 0)
+	sort.Float64s(ds)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q, err := dp.ChipQuantile(vdd, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := stats.QuantileCI(ds, p, 0.999)
+		if q < lo || q > hi {
+			t.Errorf("ChipQuantile(%g) = %g outside MC CI [%g, %g]", p, q, lo, hi)
+		}
+		f, err := dp.ChipCDF(vdd, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f-p) > 0.01 {
+			t.Errorf("ChipCDF(ChipQuantile(%g)) = %g", p, f)
+		}
+	}
+}
+
+// TestChipQuantileFnMonotone pins the closure form used by the
+// importance sampler: same values as ChipQuantile, monotone in u.
+func TestChipQuantileFnMonotone(t *testing.T) {
+	dp := testPath()
+	const vdd = 0.5
+	fn, err := dp.ChipQuantileFn(vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for _, u := range []float64{0.001, 0.1, 0.5, 0.9, 0.99, 0.9999, 0.999999} {
+		x := fn(u)
+		if x < prev {
+			t.Fatalf("quantile not monotone at u=%g: %g < %g", u, x, prev)
+		}
+		prev = x
+		want, err := dp.ChipQuantile(vdd, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != want {
+			t.Errorf("ChipQuantileFn(%g) = %g, ChipQuantile = %g", u, x, want)
+		}
+	}
+}
+
+// TestAnalyticLawUnavailable pins the error contract for datapath
+// configurations without a tabulated chip law.
+func TestAnalyticLawUnavailable(t *testing.T) {
+	exact := testPath()
+	exact.Exact = true
+	corr := testPath()
+	corr.Corr = SharedDie
+	for _, dp := range []*Datapath{exact, corr} {
+		if _, err := dp.ChipQuantile(0.5, 0.99); err != ErrNoAnalyticLaw {
+			t.Errorf("%v/%v: err = %v, want ErrNoAnalyticLaw", dp.Exact, dp.Corr, err)
+		}
+		if _, err := dp.ChipCDF(0.5, 1e-9); err != ErrNoAnalyticLaw {
+			t.Errorf("ChipCDF err = %v, want ErrNoAnalyticLaw", err)
+		}
+		if _, err := dp.ChipQuantileFn(0.5); err != ErrNoAnalyticLaw {
+			t.Errorf("ChipQuantileFn err = %v, want ErrNoAnalyticLaw", err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/importance"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+// TestTailYieldEvalCancelLatency submits a tail-yield evaluation far too
+// large to finish, cancels it mid-sampling, and requires the kernel to
+// return promptly with context.Canceled. The IS kernels evaluate a
+// model per draw at rare-event sample counts, so a regression in either
+// the montecarlo polling granularity or the importance sampler's
+// allocation shape (per-sample row headers were seconds of GC-scannable
+// garbage before the flat path) shows up here as post-cancel burn.
+func TestTailYieldEvalCancelLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := tailYieldEval(ctx, tech.N22, 0.5, 40_000_000, 1, importance.Params{Shift: 4}, 4)
+		done <- err
+	}()
+	time.Sleep(1 * time.Second) // past the slab allocation, into sampling
+	cancel()
+	cancelled := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("tailYieldEval returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tailYieldEval did not return within 30s of cancellation")
+	}
+	if lat := time.Since(cancelled); lat > 2*time.Second {
+		t.Errorf("tailYieldEval took %v to observe cancellation, want <2s", lat)
+	} else {
+		t.Logf("cancel latency: %v", lat)
+	}
+}

@@ -589,7 +589,7 @@ func (sw *Sweep) Snapshot() Snapshot {
 		if sr == nil {
 			continue
 		}
-		pr := PointResult{Point: sw.points[i], Value: sr.Value, Render: sr.Text}
+		pr := PointResult{Point: sw.points[i], Value: sr.Value, Render: sr.Text, IS: sr.IS}
 		snap.Results = append(snap.Results, pr)
 	}
 	sort.Slice(snap.Results, func(i, j int) bool { return snap.Results[i].Index < snap.Results[j].Index })

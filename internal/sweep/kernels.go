@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/importance"
 	"github.com/ntvsim/ntvsim/internal/montecarlo"
 	"github.com/ntvsim/ntvsim/internal/rng"
 	"github.com/ntvsim/ntvsim/internal/simd"
@@ -12,6 +13,22 @@ import (
 	"github.com/ntvsim/ntvsim/internal/tech"
 	"github.com/ntvsim/ntvsim/internal/variation"
 )
+
+// stdNormal is the standard Gaussian used for sigma-level targets.
+var stdNormal = stats.Normal{Mu: 0, Sigma: 1}
+
+// Options carries the sampler knobs a normalized Spec resolved for its
+// kernel: which sampler runs ("mc" or "is"), the sigma level of
+// tail-yield targets, and the importance-sampling proposal parameters.
+// Kernels that predate the sampler knob ignore it entirely.
+type Options struct {
+	// TailSigma is the sigma level k of the tail target for yield
+	// kernels: the threshold is the Φ(k) chip-delay quantile.
+	TailSigma float64
+	// IS is the proposal for importance-sampling kernels (already
+	// normalized: Mix is never zero when the kernel samples).
+	IS importance.Params
+}
 
 // Kernel is a parameterizable scalar metric evaluated at one grid
 // point. Unlike the fixed figure reproductions, a kernel takes the full
@@ -26,10 +43,27 @@ type Kernel struct {
 	// DefaultSamples fills an omitted samples axis.
 	DefaultSamples int
 
+	// IS marks an importance-sampling kernel: it honors Options.IS and
+	// returns weight diagnostics. MCTwin/ISTwin name the counterpart
+	// kernel the spec-level sampler knob maps between; empty means no
+	// counterpart in that direction.
+	IS     bool
+	ISTwin string
+	MCTwin string
+	// Tail marks a kernel whose target is the Options.TailSigma
+	// chip-delay quantile.
+	Tail bool
+	// DefaultShift is the proposal mean shift used when the spec leaves
+	// is_shift zero; zero means "use the resolved TailSigma" (IS
+	// kernels only).
+	DefaultShift float64
+
 	// Eval computes the metric. It must be a pure function of its
 	// arguments (deterministic seeded sampling) and honor ctx through
-	// the montecarlo/simd Ctx entry points.
-	Eval func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error)
+	// the montecarlo/simd Ctx entry points. Kernels that sample with
+	// likelihood weights also return their weight diagnostics; plain
+	// kernels return nil.
+	Eval func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, opt Options) (float64, *importance.Diagnostics, error)
 }
 
 // kernels is the metric registry, keyed by id.
@@ -61,43 +95,109 @@ func Kernels() []Kernel {
 	return out
 }
 
+// tailYieldEval evaluates the k-sigma tail loss in ppm — the fraction
+// of chips slower than the Φ(k) quantile of the analytic chip-delay
+// law — with the given proposal. Params{Mix: 1} is the plain-MC twin
+// (unit weights); a shifted defensive mixture is the IS estimator.
+// Both share one estimand, one rng layout, and one reduction, so their
+// estimates agree within CI tolerance at any sigma where MC converges.
+func tailYieldEval(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, p importance.Params, tailSigma float64) (float64, *importance.Diagnostics, error) {
+	dp := simd.New(node)
+	fn, err := dp.ChipQuantileFn(vdd)
+	if err != nil {
+		return 0, nil, err
+	}
+	target, err := dp.ChipQuantile(vdd, stdNormal.CDF(tailSigma))
+	if err != nil {
+		return 0, nil, err
+	}
+	xs, ws, err := importance.SampleCtx(ctx, p, seed, samples, fn)
+	if err != nil {
+		return 0, nil, err
+	}
+	loss, _ := importance.TailProb(xs, ws, target)
+	diag := importance.Diagnose(ws)
+	return loss * 1e6, &diag, nil
+}
+
 func init() {
 	registerKernel(Kernel{
 		ID:   "chain3sigma",
 		Kind: experiments.Circuit, Unit: "%", DefaultSamples: 1000,
 		Description: "3-sigma/mu (%) of a 50-FO4 inverter-chain delay (Figure 2 generalized)",
-		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error) {
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
 			sampler := variation.NewSampler(node.Dev, node.Var)
 			xs, err := montecarlo.SampleCtx(ctx, seed, samples, func(r *rng.Stream) float64 {
 				return sampler.FreshChainDelay(r, vdd, tech.ChainLength)
 			})
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
-			return stats.ThreeSigmaOverMu(xs), nil
+			return stats.ThreeSigmaOverMu(xs), nil, nil
 		},
 	})
 	registerKernel(Kernel{
 		ID:   "gate3sigma",
 		Kind: experiments.Circuit, Unit: "%", DefaultSamples: 1000,
 		Description: "3-sigma/mu (%) of a single FO4 inverter delay",
-		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error) {
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
 			sampler := variation.NewSampler(node.Dev, node.Var)
 			xs, err := montecarlo.SampleCtx(ctx, seed, samples, func(r *rng.Stream) float64 {
 				return sampler.FreshGateDelay(r, vdd)
 			})
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
-			return stats.ThreeSigmaOverMu(xs), nil
+			return stats.ThreeSigmaOverMu(xs), nil, nil
 		},
 	})
 	registerKernel(Kernel{
 		ID:   "p99chipclock",
 		Kind: experiments.Architecture, Unit: "FO4", DefaultSamples: 10000,
 		Description: "99%-yield clock of a 128-wide SIMD datapath, in nominal FO4 units",
-		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64) (float64, error) {
-			return simd.New(node).P99ChipDelayFO4Ctx(ctx, seed, samples, vdd, 0)
+		ISTwin:      "p99chipclock_is",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
+			v, err := simd.New(node).P99ChipDelayFO4Ctx(ctx, seed, samples, vdd, 0)
+			return v, nil, err
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "p99chipclock_is",
+		Kind: experiments.Architecture, Unit: "FO4", DefaultSamples: 10000,
+		Description: "99%-yield clock via importance-weighted quantile of the analytic chip law, in nominal FO4 units",
+		IS:          true, MCTwin: "p99chipclock",
+		// z_0.99: center the shifted component on the quantile of interest.
+		DefaultShift: 2.3263478740408408,
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, opt Options) (float64, *importance.Diagnostics, error) {
+			dp := simd.New(node)
+			fn, err := dp.ChipQuantileFn(vdd)
+			if err != nil {
+				return 0, nil, err
+			}
+			xs, ws, err := importance.SampleCtx(ctx, opt.IS, seed, samples, fn)
+			if err != nil {
+				return 0, nil, err
+			}
+			diag := importance.Diagnose(ws)
+			return importance.WeightedQuantile(xs, ws, 0.99) / dp.FO4(vdd), &diag, nil
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "tailyield",
+		Kind: experiments.Architecture, Unit: "ppm", DefaultSamples: 100000,
+		Description: "chips slower than the k-sigma chip-delay target (plain MC), in ppm",
+		Tail:        true, ISTwin: "yield_is",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, opt Options) (float64, *importance.Diagnostics, error) {
+			return tailYieldEval(ctx, node, vdd, samples, seed, importance.Params{Mix: 1}, opt.TailSigma)
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "yield_is",
+		Kind: experiments.Architecture, Unit: "ppm", DefaultSamples: 10000,
+		Description: "chips slower than the k-sigma chip-delay target (importance sampling), in ppm",
+		IS:          true, Tail: true, MCTwin: "tailyield",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, opt Options) (float64, *importance.Diagnostics, error) {
+			return tailYieldEval(ctx, node, vdd, samples, seed, opt.IS, opt.TailSigma)
 		},
 	})
 }

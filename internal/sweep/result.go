@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/importance"
 	"github.com/ntvsim/ntvsim/internal/report"
 	"github.com/ntvsim/ntvsim/internal/resultcache"
 	"github.com/ntvsim/ntvsim/internal/tech"
@@ -21,6 +22,9 @@ type PointResult struct {
 	Point
 	Value  float64 `json:"value"`
 	Render string  `json:"render,omitempty"`
+	// IS carries weight diagnostics for importance-sampled points
+	// (docs/SAMPLING.md); nil for plain kernels.
+	IS *importance.Diagnostics `json:"is,omitempty"`
 }
 
 // Result is the merged output of a sweep, points in grid order.
@@ -47,6 +51,25 @@ func (r *Result) Render() string {
 		if r.Unit != "" {
 			value = fmt.Sprintf("value (%s)", r.Unit)
 		}
+		if r.hasIS() {
+			t := report.NewTable("", "#", "node", "Vdd", "samples", value, "ESS", "ESS/N", "max w")
+			for _, p := range r.Points {
+				ess, frac, maxw := "", "", ""
+				if p.IS != nil {
+					ess = fmt.Sprintf("%.0f", p.IS.ESS)
+					frac = fmt.Sprintf("%.3f", p.IS.ESSFrac)
+					if p.IS.Degenerate {
+						frac += " (degenerate)"
+					}
+					maxw = fmt.Sprintf("%.3g", p.IS.MaxW)
+				}
+				t.AddRowf(strconv.Itoa(p.Index), p.Node,
+					fmt.Sprintf("%.3f V", p.Vdd), strconv.Itoa(p.Samples),
+					fmt.Sprintf("%.6g", p.Value), ess, frac, maxw)
+			}
+			b.WriteString(t.String())
+			return b.String()
+		}
 		t := report.NewTable("", "#", "node", "Vdd", "samples", value)
 		for _, p := range r.Points {
 			t.AddRowf(strconv.Itoa(p.Index), p.Node,
@@ -62,16 +85,48 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// CSV implements experiments.CSVer for metric sweeps.
-func (r *Result) CSV() [][]string {
-	rows := [][]string{{"index", "node", "vdd_v", "samples", "value"}}
+// hasIS reports whether any point carries importance-weight
+// diagnostics, which switches the rendered table and CSV to the
+// extended layouts.
+func (r *Result) hasIS() bool {
 	for _, p := range r.Points {
-		rows = append(rows, []string{
+		if p.IS != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// CSV implements experiments.CSVer for metric sweeps. Sweeps with
+// importance-weight diagnostics append ess, ess_frac, max_weight and
+// degenerate columns; plain sweeps keep the original five-column
+// layout.
+func (r *Result) CSV() [][]string {
+	hasIS := r.hasIS()
+	header := []string{"index", "node", "vdd_v", "samples", "value"}
+	if hasIS {
+		header = append(header, "ess", "ess_frac", "max_weight", "degenerate")
+	}
+	rows := [][]string{header}
+	for _, p := range r.Points {
+		row := []string{
 			strconv.Itoa(p.Index), p.Node,
 			strconv.FormatFloat(p.Vdd, 'g', -1, 64),
 			strconv.Itoa(p.Samples),
 			strconv.FormatFloat(p.Value, 'g', -1, 64),
-		})
+		}
+		if hasIS {
+			if p.IS != nil {
+				row = append(row,
+					strconv.FormatFloat(p.IS.ESS, 'g', -1, 64),
+					strconv.FormatFloat(p.IS.ESSFrac, 'g', -1, 64),
+					strconv.FormatFloat(p.IS.MaxW, 'g', -1, 64),
+					strconv.FormatBool(p.IS.Degenerate))
+			} else {
+				row = append(row, "", "", "", "")
+			}
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -89,6 +144,12 @@ type shardKey struct {
 	Vdd     float64 `json:"vdd,omitempty"`
 	Samples int     `json:"samples"`
 	Seed    uint64  `json:"seed"`
+	// Sampler parameterization (tail-yield and importance-sampling
+	// kernels only). All-zero for plain kernels, so their keys are
+	// byte-identical to pre-sampler releases and stay cache-compatible.
+	TailSigma float64 `json:"tail_sigma,omitempty"`
+	ISShift   float64 `json:"is_shift,omitempty"`
+	ISMix     float64 `json:"is_mix,omitempty"`
 }
 
 // keyOf returns the shard's result-cache key.
@@ -96,6 +157,7 @@ func keyOf(spec Spec, pt Point) string {
 	return resultcache.Key(shardKey{
 		V: "sweep-shard/v1", Kernel: spec.id(),
 		Node: pt.Node, Vdd: pt.Vdd, Samples: pt.Samples, Seed: pt.Seed,
+		TailSigma: spec.TailSigma, ISShift: spec.ISShift, ISMix: spec.ISMix,
 	})
 }
 
@@ -107,6 +169,8 @@ type ShardResult struct {
 	Point  Point   `json:"point"`
 	Value  float64 `json:"value"`
 	Text   string  `json:"render,omitempty"` // experiment shards only
+	// IS carries weight diagnostics for importance-sampled shards.
+	IS *importance.Diagnostics `json:"is,omitempty"`
 }
 
 // ID implements experiments.Result.
@@ -143,11 +207,11 @@ func evalPoint(ctx context.Context, spec Spec, pt Point) (*ShardResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := k.Eval(ctx, node, pt.Vdd, pt.Samples, pt.Seed)
+	v, diag, err := k.Eval(ctx, node, pt.Vdd, pt.Samples, pt.Seed, spec.options())
 	if err != nil {
 		return nil, err
 	}
-	return &ShardResult{Kernel: spec.Metric, Point: pt, Value: v}, nil
+	return &ShardResult{Kernel: spec.Metric, Point: pt, Value: v, IS: diag}, nil
 }
 
 // merge assembles the grid-ordered Result from per-point shard outputs.
@@ -162,6 +226,7 @@ func merge(spec Spec, points []Point, shards []*ShardResult) *Result {
 		if sr := shards[i]; sr != nil {
 			pr.Value = sr.Value
 			pr.Render = sr.Text
+			pr.IS = sr.IS
 		}
 		res.Points = append(res.Points, pr)
 	}

@@ -49,6 +49,7 @@ import (
 	"math"
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/importance"
 	"github.com/ntvsim/ntvsim/internal/rng"
 	"github.com/ntvsim/ntvsim/internal/tech"
 )
@@ -93,6 +94,26 @@ type Spec struct {
 	Samples    []int    `json:"samples,omitempty"`
 	Seed       uint64   `json:"seed,omitempty"`
 
+	// Sampler selects the sampling strategy for kernels that come in
+	// both plain-MC and importance-sampling variants: "mc" (the
+	// default) or "is". Setting it rewrites Metric to the matching twin
+	// kernel, so sampler:"is" with metric:"tailyield" runs yield_is.
+	// See docs/SAMPLING.md for when each is trustworthy.
+	Sampler string `json:"sampler,omitempty"`
+	// TailSigma is the sigma level k of the chip-delay tail target for
+	// yield kernels: the pass/fail threshold is the Φ(k) quantile of
+	// the analytic chip law. Zero means DefaultTailSigma. Rejected for
+	// metrics without a tail target.
+	TailSigma float64 `json:"tail_sigma,omitempty"`
+	// ISShift is the proposal mean shift θ for importance-sampling
+	// kernels, in standard-normal units. Zero means the kernel default:
+	// the resolved TailSigma for yield_is, z_0.99 for p99chipclock_is.
+	ISShift float64 `json:"is_shift,omitempty"`
+	// ISMix is the defensive mixture weight λ ∈ (0, 1] kept on the
+	// nominal distribution by importance-sampling kernels; it bounds
+	// every likelihood weight by 1/λ. Zero means importance.DefaultMix.
+	ISMix float64 `json:"is_mix,omitempty"`
+
 	// MaxShardRetries is how many times a transiently-failed shard
 	// evaluation is re-run in place before the shard fails. Zero means
 	// DefaultShardRetries; negative disables retries. Retries re-derive
@@ -114,6 +135,11 @@ type Spec struct {
 // DefaultShardRetries is the per-shard transient-failure retry budget
 // when the spec leaves MaxShardRetries zero.
 const DefaultShardRetries = 2
+
+// DefaultTailSigma is the tail-target sigma level when a yield-kernel
+// spec leaves TailSigma zero: the paper's sign-off questions live at
+// the 4σ point (≈ 32 ppm loss).
+const DefaultTailSigma = 4
 
 // shardRetries resolves the spec's retry budget: zero means the
 // default, negative means none.
@@ -176,8 +202,16 @@ func (s Spec) Normalized() (Spec, error) {
 	if s.ShardTimeoutSec < 0 || math.IsNaN(s.ShardTimeoutSec) {
 		return Spec{}, fmt.Errorf("sweep: shard timeout %g must not be negative", s.ShardTimeoutSec)
 	}
+	switch s.Sampler {
+	case "", "mc", "is":
+	default:
+		return Spec{}, fmt.Errorf("sweep: sampler %q must be \"mc\" or \"is\"", s.Sampler)
+	}
 
 	if s.Experiment != "" {
+		if s.Sampler != "" || s.TailSigma != 0 || s.ISShift != 0 || s.ISMix != 0 {
+			return Spec{}, fmt.Errorf("sweep: sampler knobs apply only to metric sweeps, not experiment %q", s.Experiment)
+		}
 		info, ok := experiments.Lookup(s.Experiment)
 		if !ok {
 			return Spec{}, fmt.Errorf("sweep: unknown experiment %q (have %v)", s.Experiment, experiments.IDs())
@@ -201,6 +235,50 @@ func (s Spec) Normalized() (Spec, error) {
 	k, ok := kernels[s.Metric]
 	if !ok {
 		return Spec{}, fmt.Errorf("sweep: unknown metric %q (have %v)", s.Metric, KernelIDs())
+	}
+	// Map the sampler knob onto the kernel's twin, then resolve the
+	// sampler parameters into explicit spec fields so the normalized
+	// spec — and every shard cache key derived from it — names its full
+	// statistical parameterization.
+	if s.Sampler == "is" && !k.IS {
+		if k.ISTwin == "" {
+			return Spec{}, fmt.Errorf("sweep: metric %q has no importance-sampling variant", s.Metric)
+		}
+		s.Metric, k = k.ISTwin, kernels[k.ISTwin]
+	}
+	if s.Sampler == "mc" && k.IS {
+		s.Metric, k = k.MCTwin, kernels[k.MCTwin]
+	}
+	if k.IS {
+		s.Sampler = "is"
+	} else if s.Sampler != "" {
+		s.Sampler = "mc"
+	}
+	if k.Tail {
+		if s.TailSigma == 0 {
+			s.TailSigma = DefaultTailSigma
+		}
+		if s.TailSigma < 0 || math.IsNaN(s.TailSigma) {
+			return Spec{}, fmt.Errorf("sweep: tail_sigma %g must be positive", s.TailSigma)
+		}
+	} else if s.TailSigma != 0 {
+		return Spec{}, fmt.Errorf("sweep: tail_sigma applies only to tail-yield metrics, not %q", s.Metric)
+	}
+	if k.IS {
+		if s.ISShift == 0 {
+			if k.DefaultShift != 0 {
+				s.ISShift = k.DefaultShift
+			} else {
+				s.ISShift = s.TailSigma
+			}
+		}
+		p, err := importance.Params{Shift: s.ISShift, Mix: s.ISMix}.Normalized()
+		if err != nil {
+			return Spec{}, fmt.Errorf("sweep: %w", err)
+		}
+		s.ISShift, s.ISMix = p.Shift, p.Mix
+	} else if s.ISShift != 0 || s.ISMix != 0 {
+		return Spec{}, fmt.Errorf("sweep: is_shift/is_mix apply only to importance-sampling metrics, not %q", s.Metric)
 	}
 	if len(s.Nodes) == 0 {
 		for _, n := range tech.Nodes() {
@@ -263,6 +341,15 @@ func (s Spec) Grid() []Point {
 		}
 	}
 	return out
+}
+
+// options packages a normalized spec's resolved sampler knobs for the
+// kernel evaluation.
+func (s Spec) options() Options {
+	return Options{
+		TailSigma: s.TailSigma,
+		IS:        importance.Params{Shift: s.ISShift, Mix: s.ISMix},
+	}
 }
 
 // id returns the spec's kernel identifier (metric or experiment id).
