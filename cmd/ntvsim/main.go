@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	ntvsim [-seed N] [-quick] [-progress] [-list] [-o dir] [experiment ...]
-//	ntvsim -sweep '<json spec>' [-o dir]
+//	ntvsim [-seed N] [-quick] [-progress] [-trace out.json] [-list] [-o dir] [experiment ...]
+//	ntvsim -sweep '<json spec>' [-trace out.json] [-o dir]
 //	ntvsim -sweep @spec.json [-o dir]
+//
+// -trace writes the run's span tree as Chrome trace-event JSON, ready
+// to load in Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12
 // table1 table2 table3 table4 ks synctium, the extensions ablation app
@@ -33,6 +36,7 @@ import (
 
 	"github.com/ntvsim/ntvsim/internal/experiments"
 	"github.com/ntvsim/ntvsim/internal/sweep"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +45,7 @@ func main() {
 	progress := flag.Bool("progress", false, "render a live per-experiment progress line on stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	sweepSpec := flag.String("sweep", "", "run a parameter sweep: inline JSON spec or @file (see docs/SWEEPS.md)")
+	traceOut := flag.String("trace", "", "write the run's span tree as Chrome trace-event JSON to this file")
 	outDir := flag.String("o", "", "also write <id>.txt (and <id>.csv where available) into this directory")
 	flag.Parse()
 
@@ -56,7 +61,7 @@ func main() {
 	}
 
 	if *sweepSpec != "" {
-		os.Exit(runSweep(*sweepSpec, *seed, *outDir))
+		os.Exit(runSweep(*sweepSpec, *seed, *outDir, *traceOut))
 	}
 
 	cfg := experiments.Default()
@@ -76,6 +81,8 @@ func main() {
 	// sampling instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	ctx, finishTrace := beginTrace(ctx, *traceOut)
 
 	exitCode := 0
 	for _, id := range ids {
@@ -99,13 +106,36 @@ func main() {
 			}
 		}
 	}
+	if err := finishTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "ntvsim: -trace: %v\n", err)
+		exitCode = 1
+	}
 	os.Exit(exitCode)
+}
+
+// beginTrace roots a span tree on ctx when -trace is set. The returned
+// finish func ends the root span and writes the whole tree as Chrome
+// trace-event JSON to out; with -trace unset both are no-ops.
+func beginTrace(ctx context.Context, out string) (context.Context, func() error) {
+	if out == "" {
+		return ctx, func() error { return nil }
+	}
+	store := telemetry.NewTraceStore(1)
+	ctx, trace := store.Start(ctx, "ntvsim")
+	return ctx, func() error {
+		trace.Finish()
+		b, err := json.MarshalIndent(trace.Snapshot().Chrome(), "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, append(b, '\n'), 0o644)
+	}
 }
 
 // runSweep parses the -sweep argument (inline JSON or @file), runs the
 // sweep serially under an interruptible context, prints the merged
 // table and optionally writes sweep.txt/sweep.csv artifacts.
-func runSweep(arg string, seed uint64, outDir string) int {
+func runSweep(arg string, seed uint64, outDir, traceOut string) int {
 	raw := []byte(arg)
 	if strings.HasPrefix(arg, "@") {
 		b, err := os.ReadFile(arg[1:])
@@ -129,6 +159,8 @@ func runSweep(arg string, seed uint64, outDir string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	ctx, finishTrace := beginTrace(ctx, traceOut)
+
 	start := time.Now()
 	res, err := sweep.RunSerial(ctx, spec)
 	if err != nil {
@@ -141,6 +173,10 @@ func runSweep(arg string, seed uint64, outDir string) int {
 			fmt.Fprintf(os.Stderr, "ntvsim: sweep: %v\n", err)
 			return 1
 		}
+	}
+	if err := finishTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "ntvsim: -trace: %v\n", err)
+		return 1
 	}
 	return 0
 }

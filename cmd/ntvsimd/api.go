@@ -22,6 +22,10 @@ const (
 	codeQueueFull            = "queue_full"            // worker pool queue at capacity
 	codeShuttingDown         = "shutting_down"         // manager closed, no new submissions
 	codeTraceNotFound        = "trace_not_found"       // no span tree recorded for that id
+	codeJobNotStarted        = "job_not_started"       // trace requested for a still-queued job
+	codeRunNotFound          = "run_not_found"         // no ledger record with that run id
+	codeLedgerDisabled       = "ledger_disabled"       // run ledger off: daemon started without -data-dir
+	codeProfilingDisabled    = "profiling_disabled"    // profile knob without -data-dir
 	codeInvalidSweep         = "invalid_sweep"         // sweep spec rejected by Normalized
 	codeSweepNotFound        = "sweep_not_found"       // no sweep with that id
 	codeSweepNotCancellable  = "sweep_not_cancellable" // sweep already terminal

@@ -73,7 +73,7 @@ func TestErrorEnvelopeGolden(t *testing.T) {
 			wantBody: `{
   "error": {
     "code": "trace_not_found",
-    "message": "no trace for this job id (traces exist once a job starts running)"
+    "message": "no trace recorded under this id (traces exist once a job or sweep starts running)"
   }
 }
 `,

@@ -8,7 +8,16 @@
 // Usage:
 //
 //	ntvsimd [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
+//	        [-data-dir DIR] [-profile-jobs] [-trace-buffer N]
 //	        [-drain-timeout 30s] [-log-format text|json] [-log-level debug|info|warn|error]
+//
+// With -data-dir set, every completed job and sweep is appended to a
+// durable JSONL run ledger under that directory — resolved spec, spec
+// hash, seed, build revision, timings, outcomes, IS diagnostics and the
+// finished span tree — replayed on boot and served at GET /v1/runs, so
+// provenance survives restarts. -profile-jobs (or the per-submission
+// `profile` knob) additionally captures CPU and heap pprof profiles per
+// job next to the ledger.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
 // submissions (new ones get a typed 503 shutting_down envelope and
@@ -30,7 +39,9 @@
 //	GET  /v1/sweeps/{id}           shard states, partial results, merged result
 //	GET  /v1/sweeps/{id}/events    SSE stream of shard progress/done events
 //	POST /v1/sweeps/{id}/cancel    cancel every non-terminal shard
-//	GET  /debug/trace/{id}         span tree of a job's run as JSON
+//	GET  /v1/runs                  run-ledger listing (kind=, state=, experiment=, limit=, offset=)
+//	GET  /v1/runs/{id}             one recorded run: spec, seed, build, shards, trace, profiles
+//	GET  /debug/trace/{id}         span tree of a job or sweep (?format=chrome for Perfetto)
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /metrics/expvar           legacy expvar JSON dump
 //	GET  /healthz                  liveness probe
@@ -86,6 +97,9 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment jobs")
 	queue := flag.Int("queue", 64, "pending-job queue depth")
 	cacheSize := flag.Int("cache", 256, "max cached experiment results (0: unbounded)")
+	dataDir := flag.String("data-dir", "", "directory for the durable run ledger and job profiles (empty: recording disabled)")
+	profileJobs := flag.Bool("profile-jobs", false, "capture CPU and heap pprof profiles for every job (requires -data-dir)")
+	traceBuffer := flag.Int("trace-buffer", defaultTraceBuffer, "in-memory span-trace ring capacity")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM/SIGINT drain waits for in-flight jobs before cancelling them")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -98,7 +112,26 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	s := newServer(*workers, *queue, *cacheSize, logger)
+	if *profileJobs && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "ntvsimd: -profile-jobs requires -data-dir (profiles are written next to the run ledger)")
+		os.Exit(2)
+	}
+	s, err := newServerWith(serverConfig{
+		workers:     *workers,
+		queueDepth:  *queue,
+		cacheSize:   *cacheSize,
+		traceBuffer: *traceBuffer,
+		dataDir:     *dataDir,
+		profileJobs: *profileJobs,
+		logger:      logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntvsimd: %v\n", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		logger.Info("run ledger enabled", "data_dir", *dataDir, "replayed_runs", s.ledger.Len())
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),
@@ -152,4 +185,9 @@ func main() {
 	}
 	stop()
 	<-drained // the drain goroutine owns the worker pool's shutdown
+	// Jobs have drained, so every job record is on disk; sync and close
+	// the ledger journal last.
+	if err := s.ledger.Close(); err != nil {
+		logger.Warn("ledger close failed", "error", err.Error())
+	}
 }

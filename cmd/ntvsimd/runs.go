@@ -1,0 +1,306 @@
+package main
+
+// Run-ledger wiring: this file connects the durable ledger
+// (internal/ledger) to the job manager and the sweep engine, captures
+// optional per-job pprof profiles, and serves the recorded provenance
+// on GET /v1/runs. Everything here is inert when the daemon runs
+// without -data-dir: the observer is never installed, recordSweep is
+// never spawned, and the handlers answer with a typed ledger_disabled
+// envelope.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/importance"
+	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/ledger"
+	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+// jobMeta is the submit-side provenance of one API job — everything the
+// jobs.Snapshot delivered to the observer cannot know.
+type jobMeta struct {
+	experiment string
+	config     experiments.Config
+	specHash   string
+}
+
+// registerJobMeta records the submit-side provenance for a job the
+// observer will eventually report. The job may already have finalized —
+// tiny quick runs can finish before SubmitWith returns to the handler —
+// in which case the parked snapshot is consumed and recorded now.
+func (s *server) registerJobMeta(id string, m jobMeta) {
+	if s.ledger == nil {
+		return
+	}
+	s.metaMu.Lock()
+	if snap, done := s.pendingJobs[id]; done {
+		delete(s.pendingJobs, id)
+		s.metaMu.Unlock()
+		s.recordJob(snap, m)
+		return
+	}
+	s.jobMeta[id] = &m
+	s.metaMu.Unlock()
+}
+
+// observeJob is the jobs.Manager observer: called once per finalized
+// job, outside the manager lock. Sweep shard jobs are skipped — their
+// provenance lands in the owning sweep's record — and a job whose meta
+// has not been registered yet is parked for registerJobMeta to finish.
+func (s *server) observeJob(snap jobs.Snapshot) {
+	if strings.HasPrefix(snap.Name, "sweep:") {
+		return
+	}
+	s.metaMu.Lock()
+	m, ok := s.jobMeta[snap.ID]
+	if !ok {
+		s.pendingJobs[snap.ID] = snap
+		s.metaMu.Unlock()
+		return
+	}
+	delete(s.jobMeta, snap.ID)
+	s.metaMu.Unlock()
+	s.recordJob(snap, *m)
+}
+
+// recordJob appends one job's terminal record to the run ledger.
+func (s *server) recordJob(snap jobs.Snapshot, m jobMeta) {
+	spec, err := json.Marshal(m.config)
+	if err != nil {
+		spec = nil
+	}
+	rec := ledger.Record{
+		RunID:    snap.ID,
+		Kind:     "job",
+		Name:     m.experiment,
+		SpecHash: m.specHash,
+		Spec:     spec,
+		Seed:     m.config.Seed,
+		State:    string(snap.State),
+		Error:    snap.Error,
+		Created:  snap.Created,
+		Started:  snap.Started,
+		Finished: snap.Finished,
+		Samples:  snap.Progress.Done,
+		Attempts: snap.Attempts,
+		Panicked: snap.Stack != "",
+		Profiles: s.takeProfilePaths(snap.ID),
+	}
+	if !snap.Started.IsZero() {
+		rec.DurationMS = float64(snap.Finished.Sub(snap.Started).Microseconds()) / 1e3
+	}
+	if trace, ok := s.traces.Get(snap.ID); ok {
+		ts := trace.Snapshot()
+		rec.Trace = &ts
+	}
+	if err := s.ledger.Append(rec); err != nil {
+		s.log.Warn("run ledger append failed", "job", snap.ID, "error", err.Error())
+	}
+}
+
+// recordSweep waits for sw to reach a terminal state, then appends one
+// record carrying the whole sweep's provenance — normalized spec and
+// its content hash, per-shard states with their derived seeds, merged
+// importance-sampling diagnostics, and the sweep-rooted span tree.
+func (s *server) recordSweep(sw *sweep.Sweep) {
+	<-sw.Done()
+	snap := sw.Snapshot()
+	spec, err := json.Marshal(snap.Spec)
+	if err != nil {
+		spec = nil
+	}
+	rec := ledger.Record{
+		RunID:    sw.ID,
+		Kind:     "sweep",
+		Name:     snap.Spec.Metric,
+		SpecHash: resultcache.Key(snap.Spec),
+		Spec:     spec,
+		Seed:     snap.Spec.Seed,
+		State:    string(snap.State),
+		Error:    snap.Error,
+		Created:  snap.Created,
+		Started:  snap.Created, // shards begin dispatching at submission
+		Finished: snap.Finished,
+		Retries:  snap.Retried,
+		Cached:   snap.Cached,
+	}
+	rec.DurationMS = float64(snap.Finished.Sub(snap.Created).Microseconds()) / 1e3
+
+	// Shard seeds are re-derived from the spec's grid — the same pure
+	// derivation the engine used — so the record pins them without any
+	// change to the shard wire format.
+	points := snap.Spec.Grid()
+	rec.Shards = make([]ledger.ShardRecord, 0, len(snap.Shards))
+	for _, sh := range snap.Shards {
+		sr := ledger.ShardRecord{
+			Index:   sh.Index,
+			State:   string(sh.State),
+			Cached:  sh.Cached,
+			Retries: sh.Retries,
+			JobID:   sh.JobID,
+			Error:   sh.Error,
+		}
+		if sh.Index < len(points) {
+			sr.Seed = points[sh.Index].Seed
+		}
+		rec.Shards = append(rec.Shards, sr)
+		if sh.State == sweep.ShardDone && !sh.Cached && sh.Index < len(points) {
+			rec.Samples += int64(points[sh.Index].Samples)
+		}
+	}
+	ds := make([]*importance.Diagnostics, 0, len(snap.Results))
+	for i := range snap.Results {
+		ds = append(ds, snap.Results[i].IS)
+	}
+	rec.IS = importance.MergeAll(ds...)
+	if trace, ok := s.traces.Get(sw.ID); ok {
+		ts := trace.Snapshot()
+		rec.Trace = &ts
+	}
+	if err := s.ledger.Append(rec); err != nil {
+		s.log.Warn("run ledger append failed", "sweep", sw.ID, "error", err.Error())
+	}
+}
+
+// cpuProfileActive serializes per-job CPU profiling: pprof can run only
+// one CPU profile per process, so a job that finds the slot busy skips
+// the CPU profile (and still writes its heap profile).
+var cpuProfileActive atomic.Bool
+
+// beginJobProfiles starts profile capture for one job and returns the
+// finish func the job closure calls after the run: it stops the CPU
+// profile (when this job held the slot) and writes a post-run heap
+// profile, then files the captured paths for the job's ledger record.
+// Paths are recorded relative to the data dir.
+func (s *server) beginJobProfiles(jobID string) (finish func()) {
+	dir := filepath.Join(s.ledger.Dir(), "profiles")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.log.Warn("profile dir creation failed", "error", err.Error())
+		return func() {}
+	}
+	var paths []string
+	stopCPU := func() {}
+	if cpuProfileActive.CompareAndSwap(false, true) {
+		rel := filepath.Join("profiles", jobID+".cpu.pprof")
+		f, err := os.Create(filepath.Join(s.ledger.Dir(), rel))
+		if err == nil {
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				cpuProfileActive.Store(false)
+				s.log.Warn("cpu profile start failed", "job", jobID, "error", err.Error())
+			} else {
+				stopCPU = func() {
+					pprof.StopCPUProfile()
+					f.Close()
+					cpuProfileActive.Store(false)
+					paths = append(paths, rel)
+				}
+			}
+		} else {
+			cpuProfileActive.Store(false)
+			s.log.Warn("cpu profile create failed", "job", jobID, "error", err.Error())
+		}
+	} else {
+		s.log.Info("cpu profile slot busy; capturing heap only", "job", jobID)
+	}
+	return func() {
+		stopCPU()
+		rel := filepath.Join("profiles", jobID+".heap.pprof")
+		f, err := os.Create(filepath.Join(s.ledger.Dir(), rel))
+		if err != nil {
+			s.log.Warn("heap profile create failed", "job", jobID, "error", err.Error())
+		} else {
+			runtime.GC() // get up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				s.log.Warn("heap profile write failed", "job", jobID, "error", err.Error())
+			} else {
+				paths = append(paths, rel)
+			}
+			f.Close()
+		}
+		if len(paths) > 0 {
+			s.metaMu.Lock()
+			s.profilePath[jobID] = paths
+			s.metaMu.Unlock()
+		}
+	}
+}
+
+// takeProfilePaths consumes the profile paths captured for a job.
+func (s *server) takeProfilePaths(jobID string) []string {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	paths := s.profilePath[jobID]
+	delete(s.profilePath, jobID)
+	return paths
+}
+
+// runListPayload is the typed GET /v1/runs response: one page of the
+// newest-first run listing plus the pre-pagination total. Listing
+// entries elide the resolved spec, per-shard detail and the span tree;
+// GET /v1/runs/{id} returns the complete record.
+type runListPayload struct {
+	Runs   []ledger.Record `json:"runs"`
+	Total  int             `json:"total"`
+	Limit  int             `json:"limit"`
+	Offset int             `json:"offset"`
+}
+
+// handleListRuns serves one page of the run ledger, newest first.
+// Query parameters: kind= (job|sweep), state= (done|failed|cancelled),
+// experiment= (experiment or kernel id), limit=, offset=.
+func (s *server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeAPIError(w, http.StatusNotFound, codeLedgerDisabled,
+			"run ledger disabled; start ntvsimd with -data-dir to record runs")
+		return
+	}
+	q, ok := parseListQuery(w, r)
+	if !ok {
+		return
+	}
+	lq := ledger.Query{State: string(q.state), Name: r.URL.Query().Get("experiment")}
+	switch kind := r.URL.Query().Get("kind"); kind {
+	case "", "job", "sweep":
+		lq.Kind = kind
+	default:
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery,
+			"unknown kind %q (one of job, sweep)", kind)
+		return
+	}
+	recs, total := s.ledger.List(lq, q.limit, q.offset)
+	for i := range recs {
+		recs[i].Spec = nil
+		recs[i].Shards = nil
+		recs[i].Trace = nil
+	}
+	writeJSON(w, http.StatusOK, runListPayload{
+		Runs: recs, Total: total, Limit: q.limit, Offset: q.offset,
+	})
+}
+
+// handleGetRun serves one complete ledger record, including the
+// resolved spec, per-shard provenance and the persisted span tree.
+func (s *server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeAPIError(w, http.StatusNotFound, codeLedgerDisabled,
+			"run ledger disabled; start ntvsimd with -data-dir to record runs")
+		return
+	}
+	rec, ok := s.ledger.Get(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, codeRunNotFound, "no recorded run with this id")
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

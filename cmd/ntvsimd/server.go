@@ -10,11 +10,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/ntvsim/ntvsim/internal/buildinfo"
 	"github.com/ntvsim/ntvsim/internal/experiments"
 	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/ledger"
 	"github.com/ntvsim/ntvsim/internal/montecarlo"
 	"github.com/ntvsim/ntvsim/internal/resultcache"
 	"github.com/ntvsim/ntvsim/internal/sweep"
@@ -60,7 +63,18 @@ var (
 		"HTTP request latency.", telemetry.DefBuckets)
 )
 
+// promBuildInfo is the ntvsim_build_info gauge: always 1, with the
+// binary's provenance in its labels so dashboards can join metrics to
+// the exact source revision serving them.
+var promBuildInfo = telemetry.Default.GaugeVec("ntvsim_build_info",
+	"Build provenance of the running binary (value is always 1).",
+	"version", "go", "revision")
+
 func init() {
+	telemetry.RegisterRuntimeMetrics()
+	bi := buildinfo.Read()
+	promBuildInfo.With(bi.Version, bi.Go, bi.Revision).Set(1)
+
 	// Gauge for the shared Monte-Carlo engine: total sample evaluations
 	// across every experiment run in this process. (The Prometheus twin,
 	// ntvsim_mc_samples_evaluated_total, is registered by montecarlo.)
@@ -140,15 +154,30 @@ func init() {
 }
 
 // server wires the experiments registry, the job manager, the sweep
-// engine, the result cache and the trace buffer behind an HTTP mux.
+// engine, the result cache, the trace buffer and the run ledger behind
+// an HTTP mux.
 type server struct {
 	jobs    *jobs.Manager
 	sweeps  *sweep.Engine
 	cache   *resultcache.Cache[experiments.Result]
 	traces  *telemetry.TraceStore
+	ledger  *ledger.Ledger // nil without -data-dir: recording disabled
 	log     *slog.Logger
 	workers int
 	mux     *http.ServeMux
+
+	// profileJobs captures CPU+heap profiles for every job (the
+	// -profile-jobs flag); individual submissions opt in via the
+	// `profile` knob. Either way profiling needs the ledger's data dir.
+	profileJobs bool
+
+	// metaMu guards the job-provenance rendezvous between handleSubmit
+	// (which learns the spec/hash/seed) and the jobs observer (which
+	// learns the outcome); see registerJobMeta/observeJob in runs.go.
+	metaMu      sync.Mutex
+	jobMeta     map[string]*jobMeta
+	pendingJobs map[string]jobs.Snapshot
+	profilePath map[string][]string
 
 	// base is the parent context of every job and sweep; tests thread a
 	// faults.Injector through it.
@@ -158,20 +187,71 @@ type server struct {
 	draining atomic.Bool
 }
 
+// serverConfig collects the daemon's construction knobs. The zero value
+// of the optional fields means: default trace buffer, no ledger, no
+// profiling, discarded logs.
+type serverConfig struct {
+	workers     int
+	queueDepth  int
+	cacheSize   int
+	traceBuffer int    // trace-ring capacity; 0 means defaultTraceBuffer
+	dataDir     string // run-ledger directory; "" disables the ledger
+	profileJobs bool   // capture CPU+heap profiles for every job
+	logger      *slog.Logger
+}
+
+// defaultTraceBuffer is the trace-ring capacity without -trace-buffer.
+const defaultTraceBuffer = 256
+
+// newServer builds a server with no ledger and default trace buffer —
+// the pre-data-dir construction signature, kept for the many test call
+// sites. It cannot fail: only opening a data dir can.
 func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server {
+	s, err := newServerWith(serverConfig{
+		workers: workers, queueDepth: queueDepth, cacheSize: cacheSize, logger: logger,
+	})
+	if err != nil { // unreachable without a dataDir
+		panic(err)
+	}
+	return s
+}
+
+func newServerWith(cfg serverConfig) (*server, error) {
+	logger := cfg.logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.traceBuffer <= 0 {
+		cfg.traceBuffer = defaultTraceBuffer
+	}
+	var led *ledger.Ledger
+	if cfg.dataDir != "" {
+		var err error
+		if led, err = ledger.Open(cfg.dataDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &server{
-		jobs:    jobs.NewManager(workers, queueDepth),
-		cache:   resultcache.New[experiments.Result](cacheSize),
-		traces:  telemetry.NewTraceStore(256),
-		log:     logger,
-		workers: workers,
-		mux:     http.NewServeMux(),
-		base:    context.Background(),
+		jobs:        jobs.NewManager(cfg.workers, cfg.queueDepth),
+		cache:       resultcache.New[experiments.Result](cfg.cacheSize),
+		traces:      telemetry.NewTraceStore(cfg.traceBuffer),
+		ledger:      led,
+		log:         logger,
+		workers:     cfg.workers,
+		profileJobs: cfg.profileJobs,
+		mux:         http.NewServeMux(),
+		base:        context.Background(),
 	}
 	s.sweeps = sweep.NewEngine(s.jobs, s.cache, s.traces)
+	if s.ledger != nil {
+		// The observer fires once per finalized job, outside the manager
+		// lock; with the ledger disabled it is never installed, keeping
+		// the nil path allocation-free.
+		s.jobMeta = make(map[string]*jobMeta)
+		s.pendingJobs = make(map[string]jobs.Snapshot)
+		s.profilePath = make(map[string][]string)
+		s.jobs.SetObserver(s.observeJob)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
@@ -186,15 +266,23 @@ func newServer(workers, queueDepth, cacheSize int, logger *slog.Logger) *server 
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	s.mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /metrics/expvar", expvar.Handler())
 	active.Store(s)
-	return s
+	return s, nil
 }
 
-// close drains the worker pool; used by main on shutdown and by tests.
-func (s *server) close() { s.jobs.Close() }
+// close drains the worker pool and closes the run ledger; used by main
+// on shutdown and by tests.
+func (s *server) close() {
+	s.jobs.Close()
+	if err := s.ledger.Close(); err != nil {
+		s.log.Warn("ledger close failed", "error", err.Error())
+	}
+}
 
 // beginDrain flips the server into the draining state: /healthz reports
 // "draining" and new job/sweep submissions are rejected with a typed
@@ -274,12 +362,15 @@ func debugMux() *http.ServeMux {
 // fields from the reduced regression configuration instead.
 // TimeoutSec bounds the job's whole lifetime (queue wait included);
 // MaxRetries re-runs transiently-failed attempts. Both default to off.
+// Profile captures CPU and heap pprof profiles of this run next to the
+// run ledger (requires -data-dir; see docs/OBSERVABILITY.md).
 type submitRequest struct {
 	Experiment string             `json:"experiment"`
 	Config     experiments.Config `json:"config"`
 	Quick      bool               `json:"quick"`
 	TimeoutSec float64            `json:"timeout_seconds,omitempty"`
 	MaxRetries int                `json:"max_retries,omitempty"`
+	Profile    bool               `json:"profile,omitempty"`
 }
 
 // jobKey is the content-addressed cache identity of a run: experiment id
@@ -431,6 +522,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, codeInvalidBody, "missing \"experiment\" field")
 		return
 	}
+	if req.Profile && s.ledger == nil {
+		writeAPIError(w, http.StatusBadRequest, codeProfilingDisabled,
+			"per-job profiling needs a profile directory; start ntvsimd with -data-dir")
+		return
+	}
 	if !knownExperiment(req.Experiment) {
 		writeAPIErrorf(w, http.StatusBadRequest, codeUnknownExperiment,
 			"unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment)
@@ -464,7 +560,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutSec > 0 {
 		opts.Deadline = time.Now().Add(time.Duration(req.TimeoutSec * float64(time.Second)))
 	}
-	id, err := s.jobs.SubmitWith(req.Experiment, s.runJob(req.Experiment, cfg, key), opts)
+	profile := req.Profile || (s.profileJobs && s.ledger != nil)
+	id, err := s.jobs.SubmitWith(req.Experiment, s.runJob(req.Experiment, cfg, key, profile), opts)
 	if err != nil {
 		status, code := http.StatusInternalServerError, codeInternal
 		switch {
@@ -478,6 +575,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	evJobsStarted.Add(1)
+	s.registerJobMeta(id, jobMeta{experiment: req.Experiment, config: cfg, specHash: key})
 	s.log.Info("job submitted", "job", id, "experiment", req.Experiment,
 		"queue_depth", s.jobs.QueueDepth())
 	writeJSON(w, http.StatusAccepted, jobPayload{
@@ -488,15 +586,21 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob builds the worker-pool closure for one experiment run: execute
-// under the job's context with a fresh trace, record per-experiment
-// latency, and populate the result cache on success.
-func (s *server) runJob(expID string, cfg experiments.Config, key string) jobs.Func {
+// under the job's context with a fresh trace, optionally under CPU/heap
+// profiling, record per-experiment latency, and populate the result
+// cache on success.
+func (s *server) runJob(expID string, cfg experiments.Config, key string, profile bool) jobs.Func {
 	return func(ctx context.Context) (any, error) {
 		jobID := jobs.ContextID(ctx)
 		ctx, trace := s.traces.Start(ctx, jobID)
+		finishProfiles := func() {}
+		if profile {
+			finishProfiles = s.beginJobProfiles(jobID)
+		}
 		start := time.Now()
 		res, err := experiments.RunCtx(ctx, expID, cfg)
 		trace.Finish()
+		finishProfiles()
 		elapsed := time.Since(start).Seconds()
 		logArgs := []any{"job", jobID, "experiment", expID, "seconds", elapsed}
 		switch {
@@ -574,17 +678,37 @@ func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, progressOf(snap))
 }
 
-// handleTrace dumps the span tree recorded for one job. Traces of
-// running jobs report in-progress spans with their duration so far.
+// handleTrace dumps the span tree recorded for one job or sweep.
+// Traces of running work report in-progress spans with their duration
+// so far; traces evicted from the in-memory ring are served from the
+// run ledger when one is configured. ?format=chrome renders the tree as
+// Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	trace, ok := s.traces.Get(id)
-	if !ok {
+	var snap telemetry.TraceSnapshot
+	if trace, ok := s.traces.Get(id); ok {
+		snap = trace.Snapshot()
+	} else if rec, ok := s.ledger.Get(id); ok && rec.Trace != nil {
+		snap = *rec.Trace
+	} else {
+		if jsnap, ok := s.jobs.Get(id); ok && jsnap.State == jobs.Queued {
+			writeAPIError(w, http.StatusNotFound, codeJobNotStarted,
+				"job is still queued; its trace begins when it starts running")
+			return
+		}
 		writeAPIError(w, http.StatusNotFound, codeTraceNotFound,
-			"no trace for this job id (traces exist once a job starts running)")
+			"no trace recorded under this id (traces exist once a job or sweep starts running)")
 		return
 	}
-	writeJSON(w, http.StatusOK, trace.Snapshot())
+	switch format := r.URL.Query().Get("format"); format {
+	case "":
+		writeJSON(w, http.StatusOK, snap)
+	case "chrome":
+		writeJSON(w, http.StatusOK, snap.Chrome())
+	default:
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery,
+			"unknown format %q (omit for the span tree, or \"chrome\")", format)
+	}
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

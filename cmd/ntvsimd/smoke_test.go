@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -159,5 +160,152 @@ func TestHTTPSmoke(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestHTTPSmokeRestart is the durability smoke test: boot the real
+// binary with -data-dir, run a quick job to completion, SIGTERM the
+// daemon, boot a second instance on the same dir, and require the run
+// ledger to still list the finished job with its spec hash and seed.
+// Gated behind NTVSIMD_SMOKE=1 like TestHTTPSmoke.
+func TestHTTPSmokeRestart(t *testing.T) {
+	if os.Getenv("NTVSIMD_SMOKE") != "1" {
+		t.Skip("set NTVSIMD_SMOKE=1 to run the binary smoke test")
+	}
+
+	work := t.TempDir()
+	bin := filepath.Join(work, "ntvsimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(work, "data")
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	boot := func() *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin, "-addr", addr, "-workers", "2",
+			"-data-dir", dataDir, "-log-level", "warn")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd
+				}
+			}
+			if time.Now().After(deadline) {
+				_ = cmd.Process.Kill()
+				t.Fatalf("daemon never became healthy: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	stop := func(cmd *exec.Cmd, sig os.Signal) {
+		t.Helper()
+		_ = cmd.Process.Signal(sig)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+			t.Fatal("daemon did not exit after signal")
+		}
+	}
+	getJSON := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out := map[string]any{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+
+	// First life: run one quick job to completion.
+	cmd := boot()
+	body := `{"experiment": "fig1", "config": {"seed": 8086, "circuit_samples": 50}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST job: status %d err %v (%v)", resp.StatusCode, err, out)
+	}
+	id, _ := out["id"].(string)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		job := getJSON("/v1/jobs/" + id)
+		if state, _ := job["state"].(string); state == "done" {
+			break
+		} else if state == "failed" || state == "cancelled" {
+			t.Fatalf("job finished as %s: %v", state, job["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The record must be on the ledger before the restart (the append is
+	// concurrent with the job's terminal HTTP state).
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		runs := getJSON("/v1/runs")
+		if total, _ := runs["total"].(float64); total >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run record never appeared before restart")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	stop(cmd, syscall.SIGTERM)
+
+	// Second life: the replayed ledger still knows the run.
+	cmd = boot()
+	defer stop(cmd, os.Interrupt)
+	runs := getJSON("/v1/runs")
+	if total, _ := runs["total"].(float64); total != 1 {
+		t.Fatalf("replayed ledger lists %v runs, want 1: %v", runs["total"], runs)
+	}
+	list, _ := runs["runs"].([]any)
+	entry, _ := list[0].(map[string]any)
+	if entry["run_id"] != id || entry["kind"] != "job" || entry["name"] != "fig1" {
+		t.Fatalf("replayed run identity: %v", entry)
+	}
+	if hash, _ := entry["spec_hash"].(string); hash == "" {
+		t.Error("replayed run has no spec_hash")
+	}
+	if seed, _ := entry["seed"].(float64); seed != 8086 {
+		t.Errorf("replayed run seed = %v, want 8086", entry["seed"])
+	}
+	if entry["state"] != "done" {
+		t.Errorf("replayed run state = %v", entry["state"])
+	}
+	rec := getJSON("/v1/runs/" + id)
+	if rec["trace"] == nil {
+		t.Error("replayed run record lost its trace")
 	}
 }

@@ -125,6 +125,9 @@ func (s *server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, codeInvalidSweep, err.Error())
 		return
 	}
+	if s.ledger != nil {
+		go s.recordSweep(sw)
+	}
 	snap := sw.Snapshot()
 	s.log.Info("sweep submitted", "sweep", sw.ID, "kernel", snap.Spec, "shards", snap.Total)
 	writeJSON(w, http.StatusAccepted, sweepPayloadOf(sw, snap, false))

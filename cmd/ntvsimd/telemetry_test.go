@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -158,6 +159,166 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	}
 	if count := samples[`ntvsimd_experiment_duration_seconds_count{experiment="fig4"}`]; lastBucket != count {
 		t.Errorf("+Inf bucket %v != count %v", lastBucket, count)
+	}
+}
+
+// TestMetricsCatalogueConformance sweeps the ENTIRE registered metric
+// catalogue, not a hand-picked subset: every exposed family must have
+// exactly paired HELP and TYPE comments, every metric name must match
+// the Prometheus name grammar, and every histogram series must have
+// monotone cumulative buckets whose +Inf bucket equals its _count. It
+// also pins the versioned exposition Content-Type and the provenance
+// metrics (ntvsim_build_info, the ntvsim_go_* runtime bridge).
+func TestMetricsCatalogueConformance(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(b)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want the versioned exposition type", ct)
+	}
+
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	// series value of every sample line, keyed by name{labels}.
+	samples := validatePrometheus(t, body)
+
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if helped[name] {
+				t.Errorf("family %s has duplicate HELP", name)
+			}
+			helped[name] = true
+			if !nameRe.MatchString(name) {
+				t.Errorf("HELP name %q violates the metric name grammar", name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			name := fields[2]
+			if _, dup := typed[name]; dup {
+				t.Errorf("family %s has duplicate TYPE", name)
+			}
+			typed[name] = fields[3]
+			if !helped[name] {
+				t.Errorf("family %s: TYPE not preceded by its HELP", name)
+			}
+		}
+	}
+	if len(typed) < 15 {
+		t.Fatalf("only %d families exposed; catalogue implausibly small", len(typed))
+	}
+	for name := range helped {
+		if _, ok := typed[name]; !ok {
+			t.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+
+	// Histogram coherence across every registered histogram family:
+	// per-series buckets are cumulative and +Inf equals the count.
+	bucketRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{(.*)\} (.*)$`)
+	type series struct {
+		les  []float64
+		vals []float64
+	}
+	hists := map[string]*series{}
+	leRe := regexp.MustCompile(`le="([^"]*)",?`)
+	for _, line := range strings.Split(body, "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil || typed[m[1]] != "histogram" {
+			continue
+		}
+		leM := leRe.FindStringSubmatch(m[2])
+		if leM == nil {
+			t.Errorf("bucket line without le label: %q", line)
+			continue
+		}
+		le, err := strconv.ParseFloat(strings.Replace(leM[1], "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Errorf("unparseable le %q in %q", leM[1], line)
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Errorf("unparseable bucket value in %q", line)
+			continue
+		}
+		key := m[1] + "{" + strings.TrimSuffix(leRe.ReplaceAllString(m[2], ""), ",") + "}"
+		sr := hists[key]
+		if sr == nil {
+			sr = &series{}
+			hists[key] = sr
+		}
+		sr.les = append(sr.les, le)
+		sr.vals = append(sr.vals, v)
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series found in the exposition")
+	}
+	for key, sr := range hists {
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				t.Errorf("%s: bucket bounds not increasing: %v", key, sr.les)
+			}
+			if sr.vals[i] < sr.vals[i-1] {
+				t.Errorf("%s: bucket counts not cumulative: %v", key, sr.vals)
+			}
+		}
+		last := len(sr.les) - 1
+		if !math.IsInf(sr.les[last], +1) {
+			t.Errorf("%s: final bucket le=%v, want +Inf", key, sr.les[last])
+			continue
+		}
+		// key is family{labels-minus-le}; the matching count series is
+		// family_count with the same residual labels.
+		brace := strings.Index(key, "{")
+		countKey := key[:brace] + "_count" + key[brace:]
+		if strings.HasSuffix(countKey, "{}") {
+			countKey = strings.TrimSuffix(countKey, "{}")
+		}
+		count, ok := samples[countKey]
+		if !ok {
+			t.Errorf("%s: no matching _count series (%s)", key, countKey)
+		} else if sr.vals[last] != count {
+			t.Errorf("%s: +Inf bucket %v != count %v", key, sr.vals[last], count)
+		}
+	}
+
+	// Provenance: the build-info gauge is 1 and labelled with a real
+	// toolchain version, and the runtime bridge is on the page.
+	foundBuild := false
+	for key, v := range samples {
+		if !strings.HasPrefix(key, "ntvsim_build_info{") {
+			continue
+		}
+		foundBuild = true
+		if v != 1 {
+			t.Errorf("ntvsim_build_info = %v, want 1", v)
+		}
+		for _, label := range []string{`version="`, `go="go`, `revision="`} {
+			if !strings.Contains(key, label) {
+				t.Errorf("build info series %s missing label %s", key, label)
+			}
+		}
+	}
+	if !foundBuild {
+		t.Error("ntvsim_build_info missing from /metrics")
+	}
+	goFamilies := 0
+	for name := range typed {
+		if strings.HasPrefix(name, "ntvsim_go_") {
+			goFamilies++
+		}
+	}
+	if goFamilies < 6 {
+		t.Errorf("only %d ntvsim_go_* runtime families exposed, want >= 6", goFamilies)
 	}
 }
 

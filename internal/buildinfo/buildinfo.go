@@ -1,0 +1,55 @@
+// Package buildinfo exposes the binary's build provenance — module
+// version, Go toolchain and VCS revision — read once from
+// debug.ReadBuildInfo. The run ledger stamps every record with it so a
+// result can always be traced back to the exact source revision that
+// produced it, and the ntvsim_build_info metric exports the same labels
+// for dashboards.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build provenance of the running binary. Fields are empty
+// when the binary was built without module or VCS metadata (e.g. plain
+// `go test` in a work tree strips VCS stamping).
+type Info struct {
+	// Version is the main module's version, "(devel)" for work-tree
+	// builds.
+	Version string `json:"version,omitempty"`
+	// Go is the toolchain that built the binary, e.g. "go1.22.0".
+	Go string `json:"go,omitempty"`
+	// Revision is the VCS commit hash the binary was built from.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports whether the work tree was dirty at build time —
+	// a Revision with Modified set does not pin the source exactly.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Read returns the binary's build provenance. The underlying
+// debug.ReadBuildInfo call is made once and cached.
+func Read() Info {
+	once.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		cached.Version = bi.Main.Version
+		cached.Go = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.modified":
+				cached.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}

@@ -220,6 +220,40 @@ func TestDiagnosticsMerge(t *testing.T) {
 	}
 }
 
+// TestMergeAll checks the ledger's sweep-record reduction: nil and
+// empty blocks are skipped, inputs are not mutated, and the result
+// matches a hand-rolled Merge fold.
+func TestMergeAll(t *testing.T) {
+	if got := MergeAll(); got != nil {
+		t.Errorf("MergeAll() = %+v, want nil", got)
+	}
+	if got := MergeAll(nil, &Diagnostics{}, nil); got != nil {
+		t.Errorf("MergeAll of empties = %+v, want nil", got)
+	}
+
+	_, ws, err := SampleCtx(context.Background(), Params{Shift: 3}, 29, 3000, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Diagnose(ws[:1000])
+	b := Diagnose(ws[1000:2000])
+	c := Diagnose(ws[2000:])
+	aCopy := a
+	got := MergeAll(&a, nil, &b, &Diagnostics{}, &c)
+	want := a
+	want.Merge(b)
+	want.Merge(c)
+	if got == nil || *got != want {
+		t.Errorf("MergeAll = %+v, want %+v", got, want)
+	}
+	if single := MergeAll(&aCopy); *single != aCopy {
+		t.Error("single-input MergeAll changed the block")
+	}
+	if a != aCopy {
+		t.Errorf("MergeAll mutated its first input: %+v vs %+v", a, aCopy)
+	}
+}
+
 // TestPushforwardMatchesQuantile sanity-checks the probit framing
 // itself: weighted quantiles of the IS sample must agree with the
 // quantile function that generated it.

@@ -308,3 +308,23 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	}
 	d.Degenerate = d.ESSFrac < DegenerateESSFrac
 }
+
+// MergeAll reduces diagnostics blocks (e.g. one per sweep point or
+// shard) to a single summary via pairwise left-fold Merge, returning
+// nil when no non-nil input carries samples. The run ledger uses it to
+// stamp one weight-health block per sweep record.
+func MergeAll(ds ...*Diagnostics) *Diagnostics {
+	var out *Diagnostics
+	for _, d := range ds {
+		if d == nil || d.N == 0 {
+			continue
+		}
+		if out == nil {
+			out = &Diagnostics{}
+			*out = *d
+			continue
+		}
+		out.Merge(*d)
+	}
+	return out
+}

@@ -232,6 +232,7 @@ type Manager struct {
 	seq      uint64
 	backoff  Backoff
 	counters Counters
+	observer func(Snapshot)   // notified once per job on finalization
 	now      func() time.Time // injectable for tests
 }
 
@@ -262,6 +263,19 @@ func NewManager(workers, queueDepth int) *Manager {
 func (m *Manager) SetBackoff(b Backoff) {
 	m.mu.Lock()
 	m.backoff = b
+	m.mu.Unlock()
+}
+
+// SetObserver installs fn to be called exactly once per job, with the
+// job's terminal Snapshot, after the job finalizes (including queued
+// jobs cancelled before they ran). The call is made outside the
+// manager's lock, so fn may call back into the Manager; it runs on the
+// worker (or cancelling) goroutine, so it should be quick or hand off.
+// The run ledger hangs off this hook — the Manager itself stays
+// storage-agnostic. Install before submitting; a nil fn disables it.
+func (m *Manager) SetObserver(fn func(Snapshot)) {
+	m.mu.Lock()
+	m.observer = fn
 	m.mu.Unlock()
 }
 
@@ -359,19 +373,26 @@ func (m *Manager) List() []Snapshot {
 // Running means its Func is still draining.
 func (m *Manager) Cancel(id string) (State, bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok || j.state.Terminal() {
+		m.mu.Unlock()
 		return "", false
 	}
 	was := j.state
 	j.cancel()
+	var notify func(Snapshot)
+	var snap Snapshot
 	if j.state == Queued {
 		// The worker that eventually pops this job skips it.
 		j.state = Cancelled
 		j.err = context.Canceled.Error()
 		j.done = m.now()
 		m.counters.Cancelled++
+		notify, snap = m.observer, j.snapshot()
+	}
+	m.mu.Unlock()
+	if notify != nil {
+		notify(snap)
 	}
 	return was, true
 }
@@ -567,7 +588,6 @@ func (m *Manager) invoke(j *job) (value any, err error, stack []byte) {
 // it is done.
 func (m *Manager) finalize(j *job, value any, err error, stack []byte, attempts int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.done = m.now()
 	j.attempts = attempts
 	ctxErr := j.ctx.Err()
@@ -600,6 +620,11 @@ func (m *Manager) finalize(j *job, value any, err error, stack []byte, attempts 
 		m.counters.Completed++
 	}
 	j.cancel() // release the context's resources
+	notify, snap := m.observer, j.snapshot()
+	m.mu.Unlock()
+	if notify != nil {
+		notify(snap)
+	}
 }
 
 // snapshot copies the externally visible fields; callers hold m.mu.

@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserverNotifiedOnceTerminal covers the ledger hook contract:
+// exactly one notification per job, carrying the terminal snapshot,
+// delivered outside the manager lock (the observer calls back into
+// the Manager to prove it).
+func TestObserverNotifiedOnceTerminal(t *testing.T) {
+	m := NewManager(2, 8)
+	defer m.Close()
+
+	var mu sync.Mutex
+	got := map[string][]Snapshot{}
+	m.SetObserver(func(s Snapshot) {
+		m.Counters() // re-entrancy: must not deadlock
+		mu.Lock()
+		got[s.ID] = append(got[s.ID], s)
+		mu.Unlock()
+	})
+
+	okID, err := m.Submit("ok", func(ctx context.Context) (any, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	failID, err := m.Submit("boom", func(ctx context.Context) (any, error) {
+		return nil, errors.New("kaput")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicID, err := m.Submit("panic", func(ctx context.Context) (any, error) {
+		panic("exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, okID, 5*time.Second)
+	waitState(t, m, failID, 5*time.Second)
+	waitState(t, m, panicID, 5*time.Second)
+
+	// Notification happens after finalize; give the worker goroutine a
+	// beat to deliver.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id, want := range map[string]State{okID: Done, failID: Failed, panicID: Failed} {
+		snaps := got[id]
+		if len(snaps) != 1 {
+			t.Fatalf("job %s: %d notifications, want 1", id, len(snaps))
+		}
+		if snaps[0].State != want {
+			t.Errorf("job %s: observed state %s, want %s", id, snaps[0].State, want)
+		}
+		if snaps[0].Finished.IsZero() {
+			t.Errorf("job %s: observed snapshot not finalized", id)
+		}
+	}
+	if got[okID][0].Value != 7 {
+		t.Errorf("ok job observed value %v", got[okID][0].Value)
+	}
+	if got[panicID][0].Stack == "" {
+		t.Error("panicked job observed without stack")
+	}
+}
+
+// TestObserverSeesQueuedCancellation: a job cancelled before it ever
+// runs still produces its one terminal notification.
+func TestObserverSeesQueuedCancellation(t *testing.T) {
+	m := NewManager(1, 8)
+	defer m.Close()
+
+	var mu sync.Mutex
+	var snaps []Snapshot
+	m.SetObserver(func(s Snapshot) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	})
+
+	block := make(chan struct{})
+	release := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+	blockID, err := m.Submit("blocker", release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedID, err := m.Submit("queued", func(ctx context.Context) (any, error) {
+		t.Error("cancelled queued job ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if was, ok := m.Cancel(queuedID); !ok || was != Queued {
+		t.Fatalf("Cancel(queued) = %v, %v", was, ok)
+	}
+	close(block)
+	waitState(t, m, blockID, 5*time.Second)
+	waitState(t, m, queuedID, 5*time.Second)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(snaps)
+		mu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var sawQueued bool
+	for _, s := range snaps {
+		if s.ID == queuedID {
+			sawQueued = true
+			if s.State != Cancelled {
+				t.Errorf("queued job observed as %s", s.State)
+			}
+			if !s.Started.IsZero() {
+				t.Error("cancelled queued job has a start time")
+			}
+		}
+	}
+	if !sawQueued {
+		t.Error("no notification for the cancelled queued job")
+	}
+	if len(snaps) != 2 {
+		t.Errorf("%d notifications, want 2", len(snaps))
+	}
+}

@@ -108,8 +108,10 @@ type Engine struct {
 }
 
 // NewEngine returns an Engine executing on m and caching shard outputs
-// in cache. traces is optional: when non-nil, each shard's run records
-// a span tree retrievable by its job id.
+// in cache. traces is optional: when non-nil, each sweep records one
+// span tree — retrievable by the sweep id — with every shard's spans
+// nested under the sweep root, so a wide sweep occupies a single slot
+// in the bounded trace ring.
 func NewEngine(m *jobs.Manager, cache *resultcache.Cache[experiments.Result], traces *telemetry.TraceStore) *Engine {
 	return &Engine{jobs: m, cache: cache, traces: traces, sweeps: make(map[string]*Sweep)}
 }
@@ -122,6 +124,7 @@ type Sweep struct {
 	points  []Point
 	ctx     context.Context
 	cancel  context.CancelFunc
+	trace   *telemetry.Trace // sweep-rooted span tree; nil without a store
 	created time.Time
 
 	mu         sync.Mutex
@@ -164,10 +167,20 @@ func (e *Engine) SubmitCtx(parent context.Context, spec Spec) (*Sweep, error) {
 		return nil, err
 	}
 	points := ns.Grid()
+	id := newSweepID()
 	ctx, cancel := context.WithCancel(parent)
+	// One trace per sweep, keyed by the sweep id: the root span rides the
+	// sweep context into every shard job, so shard spans nest under it
+	// instead of each shard claiming (and flooding) a ring slot of its
+	// own. Finish happens in finalizeLocked.
+	var trace *telemetry.Trace
+	if e.traces != nil {
+		ctx, trace = e.traces.Start(ctx, id)
+	}
 	sw := &Sweep{
-		ID:      newSweepID(),
+		ID:      id,
 		eng:     e,
+		trace:   trace,
 		spec:    ns,
 		points:  points,
 		ctx:     ctx,
@@ -254,11 +267,6 @@ func (sw *Sweep) submitShard(idx int, key string) {
 	name := fmt.Sprintf("sweep:%s#%d", sw.ID, idx)
 	fn := func(ctx context.Context) (any, error) {
 		sw.markRunning(idx)
-		if sw.eng.traces != nil {
-			var trace *telemetry.Trace
-			ctx, trace = sw.eng.traces.Start(ctx, jobs.ContextID(ctx))
-			defer trace.Finish()
-		}
 		sr, err := sw.runShard(ctx, idx, pt)
 		switch {
 		case errors.Is(ctx.Err(), context.DeadlineExceeded):
@@ -475,7 +483,8 @@ func (sw *Sweep) finalizeLocked() {
 		sw.state = Done
 	}
 	sw.finished = time.Now()
-	sw.cancel() // release the context
+	sw.trace.Finish() // nil-safe; ends the sweep's root span
+	sw.cancel()       // release the context
 	close(sw.doneCh)
 }
 

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
+)
+
+// TestSweepOwnsOneTrace pins the trace-ring contract: a sweep claims
+// exactly one slot in the bounded trace store — keyed by the sweep id,
+// with every shard's spans nested under the sweep root — instead of one
+// slot per shard job evicting everything else from the ring.
+func TestSweepOwnsOneTrace(t *testing.T) {
+	m := jobs.NewManager(4, 32)
+	t.Cleanup(m.Close)
+	store := telemetry.NewTraceStore(4) // smaller than the 6-shard grid
+	eng := NewEngine(m, resultcache.New[experiments.Result](64), store)
+
+	sw, err := eng.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 30*time.Second)
+	if snap.State != Done {
+		t.Fatalf("sweep state %s: %+v", snap.State, snap)
+	}
+
+	if store.Len() != 1 {
+		t.Fatalf("trace store holds %d traces after a %d-shard sweep, want 1",
+			store.Len(), snap.Total)
+	}
+	tr, ok := store.Get(sw.ID)
+	if !ok {
+		t.Fatalf("no trace under sweep id %s", sw.ID)
+	}
+	ts := tr.Snapshot()
+	if ts.Root.InProgress {
+		t.Error("sweep root span still open after the sweep finished")
+	}
+
+	// Every shard's evaluation span hangs off the sweep root.
+	shardSpans := 0
+	var walk func(s telemetry.SpanSnapshot)
+	walk = func(s telemetry.SpanSnapshot) {
+		if strings.HasPrefix(s.Name, "sweep/"+sw.ID+"/shard/") {
+			shardSpans++
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(ts.Root)
+	if shardSpans != snap.Total {
+		t.Errorf("found %d shard spans under the sweep trace, want %d", shardSpans, snap.Total)
+	}
+}
+
+// TestSweepTraceSurvivesOtherSweeps: submitting more sweeps than the
+// ring holds evicts oldest-first by sweep, not by shard count.
+func TestSweepTraceSurvivesOtherSweeps(t *testing.T) {
+	m := jobs.NewManager(4, 64)
+	t.Cleanup(m.Close)
+	store := telemetry.NewTraceStore(3)
+	eng := NewEngine(m, resultcache.New[experiments.Result](256), store)
+
+	spec := tinySpec()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		spec.Seed = 4242 + uint64(i) // distinct cache keys per sweep
+		sw, err := eng.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, sw, 30*time.Second)
+		ids = append(ids, sw.ID)
+	}
+	if store.Len() != 3 {
+		t.Fatalf("store holds %d traces, want 3", store.Len())
+	}
+	for _, id := range ids {
+		if _, ok := store.Get(id); !ok {
+			t.Errorf("trace for sweep %s evicted despite capacity 3", id)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import "time"
+
+// Chrome trace-event export: converts a TraceSnapshot into the JSON
+// object format understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing, served by GET /debug/trace/{id}?format=chrome and
+// written by the ntvsim -trace flag.
+
+// ChromeEvent is one trace-event in the Chrome trace-event format: a
+// "complete" event (ph "X") spanning Dur microseconds from Ts.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since the trace root started
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the trace-event JSON object wrapping the event array.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome converts the snapshot into Chrome trace-event JSON. Every span
+// becomes a complete ("X") event whose timestamp is microseconds since
+// the root span started; nesting is recovered by the viewer from
+// timestamp containment on the single rendered thread. In-progress
+// spans export their duration so far with an "in_progress" arg.
+func (t TraceSnapshot) Chrome() ChromeTrace {
+	out := ChromeTrace{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
+	var walk func(s SpanSnapshot)
+	walk = func(s SpanSnapshot) {
+		ev := ChromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(t.Root.Start)) / float64(time.Microsecond),
+			Dur:  s.DurationMS * 1e3,
+			PID:  1,
+			TID:  1,
+		}
+		if s.InProgress {
+			ev.Args = map[string]any{"in_progress": true}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}

@@ -49,14 +49,25 @@ type family struct {
 	buckets    []float64 // histograms only
 
 	mu       sync.Mutex
-	children map[string]*sample // keyed by rendered label pairs
-	fn       func() float64     // func-backed families (single sample)
+	children map[string]*sample       // keyed by rendered label pairs
+	fn       func() float64           // func-backed families (single sample)
+	histFn   func() HistogramSnapshot // func-backed histogram families
 }
 
 // sample is one labelled time series within a family.
 type sample struct {
 	labels string // rendered `key="value",...` or "" for unlabelled
 	metric any    // *Counter, *Gauge or *Histogram
+}
+
+// HistogramSnapshot is the point-in-time state a func-backed histogram
+// reports at exposition time (see Registry.HistogramFunc). Counts are
+// cumulative: Counts[i] is the number of observations ≤ Buckets[i].
+type HistogramSnapshot struct {
+	Buckets []float64 // sorted upper bounds; +Inf is implicit
+	Counts  []uint64  // cumulative count per bucket, same length
+	Count   uint64    // total observations (the +Inf bucket)
+	Sum     float64   // sum of observations (may be an estimate)
 }
 
 // lookup returns the family with the given name, creating it on first
@@ -206,6 +217,19 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.child(nil, func() any { return new(Gauge) }).metric.(*Gauge)
 }
 
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, gaugeType, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() any { return new(Gauge) }).metric.(*Gauge)
+}
+
 // GaugeFunc registers a gauge whose value is read by calling fn at
 // exposition time. Re-registering replaces fn (latest wins), so a
 // rebuilt server's closures take over cleanly.
@@ -223,6 +247,19 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	f := r.lookup(name, help, counterType, nil, nil)
 	f.mu.Lock()
 	f.fn = fn
+	f.mu.Unlock()
+}
+
+// HistogramFunc registers a histogram whose state is read by calling fn
+// at exposition time — the bridge for histograms maintained elsewhere
+// (the runtime/metrics GC-pause and scheduler-latency distributions).
+// fn must return cumulative, monotonically non-decreasing bucket counts
+// with Count ≥ the last bucket so the rendered +Inf bucket closes the
+// series. Re-registering replaces fn (latest wins).
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	f := r.lookup(name, help, histogramType, nil, nil)
+	f.mu.Lock()
+	f.histFn = fn
 	f.mu.Unlock()
 }
 
@@ -271,6 +308,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (f *family) write(b *strings.Builder) {
 	f.mu.Lock()
 	fn := f.fn
+	histFn := f.histFn
 	series := make([]*sample, 0, len(f.children))
 	for _, s := range f.children {
 		series = append(series, s)
@@ -282,6 +320,20 @@ func (f *family) write(b *strings.Builder) {
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
 	if fn != nil {
 		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(fn()))
+		return
+	}
+	if histFn != nil {
+		snap := histFn()
+		for i, ub := range snap.Buckets {
+			var c uint64
+			if i < len(snap.Counts) {
+				c = snap.Counts[i]
+			}
+			writeSample(b, f.name, "_bucket", "", `le="`+formatFloat(ub)+`"`, float64(c))
+		}
+		writeSample(b, f.name, "_bucket", "", `le="+Inf"`, float64(snap.Count))
+		writeSample(b, f.name, "_sum", "", "", snap.Sum)
+		writeSample(b, f.name, "_count", "", "", float64(snap.Count))
 		return
 	}
 	for _, s := range series {

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"sync"
+)
+
+// Go-runtime exposition: the ntvsim_go_* catalogue bridges
+// runtime/metrics onto the Default registry so GC pressure, heap state
+// and scheduler health are visible on the same /metrics scrape as the
+// service counters. PR 6's cancel-latency regression (span-row garbage
+// stretching GC-assist time) is exactly the class of fault these
+// surface before a hand-run benchmark does.
+
+// runtimeGauges maps exported gauge/counter names to the
+// runtime/metrics sample that backs them. Candidates are tried in
+// order so the bridge degrades gracefully across toolchain versions.
+var runtimeGauges = []struct {
+	name       string
+	help       string
+	counter    bool
+	candidates []string
+}{
+	{"ntvsim_go_heap_live_bytes", "Heap memory occupied by live objects (runtime/metrics heap objects class).",
+		false, []string{"/memory/classes/heap/objects:bytes"}},
+	{"ntvsim_go_heap_goal_bytes", "Heap size target of the current GC cycle.",
+		false, []string{"/gc/heap/goal:bytes"}},
+	{"ntvsim_go_gc_cycles_total", "Completed GC cycles.",
+		true, []string{"/gc/cycles/total:gc-cycles"}},
+	{"ntvsim_go_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		true, []string{"/gc/heap/allocs:bytes"}},
+}
+
+// runtimeHistograms maps exported histogram names to their
+// runtime/metrics distribution, re-bucketed onto fixed upper bounds to
+// keep the exposition compact (runtime histograms carry hundreds of
+// native buckets).
+var runtimeHistograms = []struct {
+	name       string
+	help       string
+	buckets    []float64
+	candidates []string
+}{
+	{"ntvsim_go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies.",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1},
+		[]string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}},
+	{"ntvsim_go_sched_latency_seconds", "Distribution of goroutine scheduling latencies (runnable to running).",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1},
+		[]string{"/sched/latencies:seconds"}},
+}
+
+var registerRuntimeOnce sync.Once
+
+// RegisterRuntimeMetrics registers the ntvsim_go_* catalogue on the
+// Default registry: GC pause and scheduler-latency histograms, heap
+// live/goal gauges, allocation and GC-cycle counters, goroutine and
+// GOMAXPROCS gauges. Values are sampled from runtime/metrics at
+// exposition time, so an idle scrape costs one batched Read call.
+// Safe to call more than once; only the first call registers.
+func RegisterRuntimeMetrics() {
+	registerRuntimeOnce.Do(registerRuntimeMetrics)
+}
+
+func registerRuntimeMetrics() {
+	available := make(map[string]runtimemetrics.ValueKind)
+	for _, d := range runtimemetrics.All() {
+		available[d.Name] = d.Kind
+	}
+	pick := func(candidates []string, kind runtimemetrics.ValueKind) string {
+		for _, c := range candidates {
+			if available[c] == kind {
+				return c
+			}
+		}
+		return ""
+	}
+
+	Default.GaugeFunc("ntvsim_go_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	Default.GaugeFunc("ntvsim_go_gomaxprocs", "GOMAXPROCS at exposition time.", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+
+	for _, g := range runtimeGauges {
+		name := pick(g.candidates, runtimemetrics.KindUint64)
+		if name == "" {
+			continue
+		}
+		fn := func() float64 { return float64(readUint64(name)) }
+		if g.counter {
+			Default.CounterFunc(g.name, g.help, fn)
+		} else {
+			Default.GaugeFunc(g.name, g.help, fn)
+		}
+	}
+	for _, h := range runtimeHistograms {
+		name := pick(h.candidates, runtimemetrics.KindFloat64Histogram)
+		if name == "" {
+			continue
+		}
+		buckets := h.buckets
+		Default.HistogramFunc(h.name, h.help, func() HistogramSnapshot {
+			return rebucket(readHistogram(name), buckets)
+		})
+	}
+}
+
+// readUint64 samples one uint64 runtime metric.
+func readUint64(name string) uint64 {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+// readHistogram samples one histogram runtime metric; nil when the
+// metric is unavailable.
+func readHistogram(name string) *runtimemetrics.Float64Histogram {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindFloat64Histogram {
+		return nil
+	}
+	return s[0].Value.Float64Histogram()
+}
+
+// rebucket folds a runtime/metrics histogram (boundary-per-bucket, often
+// hundreds of native buckets) onto the given fixed upper bounds. Counts
+// are cumulative: a native bucket contributes to the first target bound
+// at or above its own upper boundary, which never undercounts a bound.
+// Sum is an upper-bound estimate (observations priced at their native
+// bucket's upper boundary, capped at the largest finite target bound),
+// good enough for rate dashboards; the bucket counts are exact.
+func rebucket(h *runtimemetrics.Float64Histogram, bounds []float64) HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Buckets: bounds,
+		Counts:  make([]uint64, len(bounds)),
+	}
+	if h == nil {
+		return snap
+	}
+	top := bounds[len(bounds)-1]
+	for i, count := range h.Counts {
+		// Native bucket i covers (Buckets[i], Buckets[i+1]].
+		upper := h.Buckets[i+1]
+		snap.Count += count
+		price := upper
+		if math.IsInf(price, +1) || price > top {
+			price = top
+		}
+		snap.Sum += float64(count) * price
+		for j, b := range bounds {
+			if upper <= b {
+				snap.Counts[j] += count
+				break
+			}
+		}
+	}
+	// Make the per-bound tallies cumulative.
+	for j := 1; j < len(snap.Counts); j++ {
+		snap.Counts[j] += snap.Counts[j-1]
+	}
+	return snap
+}

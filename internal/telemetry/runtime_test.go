@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"math"
+	runtimemetrics "runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_build_info", "Build info.", "version", "go")
+	v.With("(devel)", "go1.22").Set(1)
+	v.With("v1.0.0", "go1.22").Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE test_build_info gauge") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	for _, want := range []string{
+		`test_build_info{version="(devel)",go="go1.22"} 1`,
+		`test_build_info{version="v1.0.0",go="go1.22"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramFunc("test_pause_seconds", "Pauses.", func() HistogramSnapshot {
+		return HistogramSnapshot{
+			Buckets: []float64{0.1, 1},
+			Counts:  []uint64{2, 5}, // cumulative
+			Count:   7,
+			Sum:     3.5,
+		}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_pause_seconds Pauses.",
+		"# TYPE test_pause_seconds histogram",
+		`test_pause_seconds_bucket{le="0.1"} 2`,
+		`test_pause_seconds_bucket{le="1"} 5`,
+		`test_pause_seconds_bucket{le="+Inf"} 7`,
+		"test_pause_seconds_sum 3.5",
+		"test_pause_seconds_count 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	RegisterRuntimeMetrics()
+	RegisterRuntimeMetrics() // idempotent
+
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// These must exist on every supported toolchain (>= go1.22).
+	for _, name := range []string{
+		"ntvsim_go_goroutines",
+		"ntvsim_go_gomaxprocs",
+		"ntvsim_go_heap_live_bytes",
+		"ntvsim_go_heap_goal_bytes",
+		"ntvsim_go_gc_cycles_total",
+		"ntvsim_go_alloc_bytes_total",
+		"ntvsim_go_gc_pause_seconds_bucket",
+		"ntvsim_go_sched_latency_seconds_bucket",
+	} {
+		if !strings.Contains(out, "\n"+name) && !strings.HasPrefix(out, name) {
+			t.Errorf("runtime metric %s missing from exposition", name)
+		}
+	}
+	if !strings.Contains(out, `ntvsim_go_gc_pause_seconds_bucket{le="+Inf"}`) {
+		t.Error("gc pause histogram missing +Inf bucket")
+	}
+}
+
+// TestRebucket checks the native-to-fixed histogram fold: counts are
+// preserved exactly, made cumulative, and the +Inf count equals the
+// total observation count.
+func TestRebucket(t *testing.T) {
+	h := &runtimemetrics.Float64Histogram{
+		// Native buckets: (-Inf,1e-6], (1e-6,1e-4], (1e-4,5e-2], (5e-2,+Inf)
+		Counts:  []uint64{3, 4, 5, 2},
+		Buckets: []float64{math.Inf(-1), 1e-6, 1e-4, 5e-2, math.Inf(+1)},
+	}
+	bounds := []float64{1e-5, 1e-3, 1e-1, 1}
+	snap := rebucket(h, bounds)
+
+	if snap.Count != 14 {
+		t.Errorf("Count = %d, want 14", snap.Count)
+	}
+	// Native uppers 1e-6→bound 1e-5; 1e-4→1e-3; 5e-2→1e-1; +Inf→none.
+	want := []uint64{3, 7, 12, 12}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	for i := 1; i < len(snap.Counts); i++ {
+		if snap.Counts[i] < snap.Counts[i-1] {
+			t.Fatalf("bucket counts not monotone: %v", snap.Counts)
+		}
+	}
+	if snap.Sum <= 0 || math.IsInf(snap.Sum, 0) || math.IsNaN(snap.Sum) {
+		t.Errorf("Sum = %v, want a finite positive estimate", snap.Sum)
+	}
+
+	empty := rebucket(nil, bounds)
+	if empty.Count != 0 || empty.Sum != 0 || len(empty.Counts) != len(bounds) {
+		t.Errorf("nil histogram rebucket = %+v", empty)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	store := NewTraceStore(4)
+	ctx, trace := store.Start(context.Background(), "job-1")
+	c1, s1 := StartSpan(ctx, "phase/load")
+	_, s2 := StartSpan(c1, "phase/load/parse")
+	time.Sleep(2 * time.Millisecond)
+	s2.End()
+	s1.End()
+	_, s3 := StartSpan(ctx, "phase/run")
+	s3.End()
+	trace.Finish()
+
+	ct := trace.Snapshot().Chrome()
+	if ct.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	if len(ct.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4 (root + 3 spans)", len(ct.TraceEvents))
+	}
+	byName := map[string]ChromeEvent{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.PID != 1 || ev.TID != 1 {
+			t.Errorf("event %s pid/tid = %d/%d", ev.Name, ev.PID, ev.TID)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %s has negative ts/dur: %+v", ev.Name, ev)
+		}
+		byName[ev.Name] = ev
+	}
+	root, parse := byName["job-1"], byName["phase/load/parse"]
+	if root.Ts != 0 {
+		t.Errorf("root ts = %v, want 0", root.Ts)
+	}
+	// The child must nest inside its parent by timestamp containment —
+	// that is how the viewer recovers the tree.
+	load := byName["phase/load"]
+	if parse.Ts < load.Ts || parse.Ts+parse.Dur > load.Ts+load.Dur+1e-3 {
+		t.Errorf("parse [%v,%v] not contained in load [%v,%v]",
+			parse.Ts, parse.Ts+parse.Dur, load.Ts, load.Ts+load.Dur)
+	}
+	if parse.Dur < 1500 { // slept 2ms; allow scheduling slop
+		t.Errorf("parse dur = %vµs, want >= 1500", parse.Dur)
+	}
+}
+
+func TestChromeExportInProgress(t *testing.T) {
+	store := NewTraceStore(1)
+	ctx, trace := store.Start(context.Background(), "job-2")
+	_, _ = StartSpan(ctx, "open") // never ended
+	ct := trace.Snapshot().Chrome()
+	var open *ChromeEvent
+	for i := range ct.TraceEvents {
+		if ct.TraceEvents[i].Name == "open" {
+			open = &ct.TraceEvents[i]
+		}
+	}
+	if open == nil {
+		t.Fatal("open span missing from export")
+	}
+	if open.Args["in_progress"] != true {
+		t.Errorf("in-progress span args = %v", open.Args)
+	}
+	trace.Finish()
+}
+
+func TestChromeExportJSONShape(t *testing.T) {
+	store := NewTraceStore(1)
+	_, trace := store.Start(context.Background(), "job-3")
+	trace.Finish()
+	ct := trace.Snapshot().Chrome()
+	if ct.TraceEvents == nil {
+		t.Fatal("traceEvents must be a non-nil array (Perfetto rejects null)")
+	}
+	_ = fmt.Sprintf("%v", ct)
+}
