@@ -1,0 +1,176 @@
+// Command covercheck enforces the repository's per-package test-coverage
+// ratchet: it runs `go test -cover` over every package, parses the
+// statement-coverage percentages, and compares them against the floors
+// committed in coverage_floors.json. Any package below its floor — or
+// any package with tests that is missing from the floors file — fails
+// the run, so coverage can only ratchet upward (raise a floor in the
+// same PR that earns it).
+//
+// Usage:
+//
+//	covercheck [flags]
+//
+//	-floors path   floors file (default coverage_floors.json)
+//	-dir path      repository root to run in (default ".")
+//	-margin pts    slack subtracted from measured coverage when
+//	               updating floors (default 2.0)
+//	-update        rewrite the floors file from the current measurement
+//	               (measured − margin, never lowering an existing floor)
+//
+// Exit status is non-zero if go test fails, a package regresses below
+// its floor, or a tested package has no committed floor.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+var coverRe = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+
+func main() {
+	floorsPath := flag.String("floors", "coverage_floors.json", "committed per-package coverage floors")
+	dir := flag.String("dir", ".", "repository root to run the tests in")
+	margin := flag.Float64("margin", 2.0, "slack (percentage points) below measured coverage when updating floors")
+	update := flag.Bool("update", false, "rewrite the floors file from the current measurement")
+	flag.Parse()
+
+	measured, err := measure(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("no coverage lines parsed; did go test run?")
+	}
+
+	if *update {
+		if err := writeFloors(*floorsPath, measured, *margin); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("covercheck: wrote %d floors to %s\n", len(measured), *floorsPath)
+		return
+	}
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var failures []string
+	for _, pkg := range sortedKeys(measured) {
+		got := measured[pkg]
+		floor, ok := floors[pkg]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f%% measured but no committed floor (add it to %s)", pkg, got, *floorsPath))
+			continue
+		}
+		if got < floor {
+			failures = append(failures,
+				fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", pkg, got, floor))
+		}
+	}
+	for _, pkg := range sortedKeys(floors) {
+		if _, ok := measured[pkg]; !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: floor committed but package not measured (deleted its tests?)", pkg))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "covercheck: FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: %d packages at or above their floors\n", len(measured))
+}
+
+// measure runs go test -cover over every package and returns statement
+// coverage by import path. Packages without test files produce no
+// coverage line and are skipped — the ratchet tracks tested packages.
+func measure(dir string) (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-count=1", "-cover", "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(buf.Bytes())
+		return nil, fmt.Errorf("go test -cover: %w", err)
+	}
+	out := map[string]float64{}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		m := coverRe.FindSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(string(m[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable coverage in %q", line)
+		}
+		out[string(m[1])] = pct
+	}
+	return out, nil
+}
+
+func readFloors(path string) (map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	floors := map[string]float64{}
+	if err := json.Unmarshal(blob, &floors); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return floors, nil
+}
+
+// writeFloors commits measured − margin as the new floors, rounded down
+// to one decimal and clamped to [0, 100]. Existing floors are never
+// lowered — the ratchet only climbs.
+func writeFloors(path string, measured map[string]float64, margin float64) error {
+	floors, err := readFloors(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		floors = map[string]float64{}
+	}
+	out := map[string]float64{}
+	for pkg, pct := range measured {
+		f := math.Floor((pct-margin)*10) / 10
+		if f < 0 {
+			f = 0
+		}
+		if prev, ok := floors[pkg]; ok && prev > f {
+			f = prev
+		}
+		out[pkg] = f
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "covercheck: "+format+"\n", args...)
+	os.Exit(1)
+}

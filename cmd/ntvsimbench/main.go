@@ -43,7 +43,7 @@ import (
 
 // kernelPackages hosts the sampling-kernel microbenchmarks; the
 // artifact suite lives in the repository root package.
-var kernelPackages = []string{"./internal/montecarlo/", "./internal/rng/", "./internal/importance/"}
+var kernelPackages = []string{"./internal/montecarlo/", "./internal/rng/", "./internal/importance/", "./internal/sweep/"}
 
 func main() {
 	bench := flag.String("bench", "Kernel|NewSub|Reset", "benchmark regexp passed to go test -bench for the kernel packages")

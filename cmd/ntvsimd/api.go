@@ -27,6 +27,7 @@ const (
 	codeLedgerDisabled       = "ledger_disabled"       // run ledger off: daemon started without -data-dir
 	codeProfilingDisabled    = "profiling_disabled"    // profile knob without -data-dir
 	codeInvalidSweep         = "invalid_sweep"         // sweep spec rejected by Normalized
+	codeModeUnsupported      = "mode_unsupported"      // ssta/auto mode on a metric with no analytic law
 	codeSweepNotFound        = "sweep_not_found"       // no sweep with that id
 	codeSweepNotCancellable  = "sweep_not_cancellable" // sweep already terminal
 	codeShardFailed          = "shard_failed"          // sweep failed: shard failures exceeded the budget

@@ -133,6 +133,16 @@ func (s *server) recordSweep(sw *sweep.Sweep) {
 		Finished: snap.Finished,
 		Retries:  snap.Retried,
 		Cached:   snap.Cached,
+		Mode:     snap.Spec.Mode,
+	}
+	if snap.Spec.Mode == sweep.ModeAuto {
+		// The mode stamp on each merged point records which side of the
+		// decision band it fell on; the refined count is the MC side.
+		for i := range snap.Results {
+			if snap.Results[i].Mode == sweep.ModeMC {
+				rec.Refined++
+			}
+		}
 	}
 	rec.DurationMS = float64(snap.Finished.Sub(snap.Created).Microseconds()) / 1e3
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
@@ -122,7 +123,14 @@ func (s *server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sw, err := s.sweeps.SubmitCtx(s.base, spec)
 	if err != nil {
-		writeAPIError(w, http.StatusBadRequest, codeInvalidSweep, err.Error())
+		code := codeInvalidSweep
+		if errors.Is(err, sweep.ErrModeUnsupported) {
+			// The importance-sampling kernels have no analytic law; give
+			// clients a distinct code so they can fall back to mode "mc"
+			// programmatically instead of string-matching the message.
+			code = codeModeUnsupported
+		}
+		writeAPIError(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
 	if s.ledger != nil {
@@ -222,17 +230,21 @@ func (s *server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 // kernelPayload is the wire form of one sweep metric kernel in the
 // GET /v1/kernels listing. Sampler reports which spec sampler values
 // the kernel answers to ("mc", "is"); Twin names the counterpart
-// kernel the sampler knob maps to, if any.
+// kernel the sampler knob maps to, if any; Modes lists the estimator
+// modes the kernel accepts in the spec's mode knob (kernels with an
+// analytic SSTA law accept all three, importance-sampling kernels only
+// "mc").
 type kernelPayload struct {
-	ID             string  `json:"id"`
-	Kind           string  `json:"kind"`
-	Description    string  `json:"description"`
-	Unit           string  `json:"unit,omitempty"`
-	DefaultSamples int     `json:"default_samples"`
-	Sampler        string  `json:"sampler"`
-	Twin           string  `json:"twin,omitempty"`
-	Tail           bool    `json:"tail,omitempty"`
-	DefaultShift   float64 `json:"default_shift,omitempty"`
+	ID             string   `json:"id"`
+	Kind           string   `json:"kind"`
+	Description    string   `json:"description"`
+	Unit           string   `json:"unit,omitempty"`
+	DefaultSamples int      `json:"default_samples"`
+	Sampler        string   `json:"sampler"`
+	Twin           string   `json:"twin,omitempty"`
+	Tail           bool     `json:"tail,omitempty"`
+	DefaultShift   float64  `json:"default_shift,omitempty"`
+	Modes          []string `json:"modes"`
 }
 
 // handleKernels lists the sweep metric registry as typed objects, the
@@ -245,6 +257,7 @@ func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
 			ID: k.ID, Kind: string(k.Kind), Description: k.Description,
 			Unit: k.Unit, DefaultSamples: k.DefaultSamples,
 			Sampler: "mc", Tail: k.Tail, DefaultShift: k.DefaultShift,
+			Modes: k.Modes(),
 		}
 		if k.IS {
 			p.Sampler = "is"

@@ -26,7 +26,9 @@
 //	internal/xram        XRAM swizzle crossbar with fault bypass
 //	internal/soda        Diet SODA PE functional simulator + kernels
 //	internal/timingerr   timing-error injection and recovery policies
-//	internal/ssta        analytic (Clark) timing cross-check
+//	internal/ssta        analytic chip-delay law: the sweep engine's
+//	                     SSTA estimator (mode ssta/auto) plus Clark
+//	                     moment algebra (docs/SSTA.md)
 //	internal/corners     corner signoff with OCV derates
 //	internal/yield       parametric yield-vs-clock curves
 //	internal/importance  rare-event importance sampler: defensive-mixture

@@ -1,0 +1,120 @@
+package corners
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+// TestCornersGolden pins the signoff pipeline bit-for-bit at two nodes:
+// the calibrated device models are pure functions, so any drift in these
+// values is a behavior change in the corner flow or the models beneath
+// it, not noise.
+func TestCornersGolden(t *testing.T) {
+	cases := []struct {
+		node            tech.Node
+		ss, tt, ff      float64
+		derate, signoff float64
+		str             string
+	}{
+		{tech.N45, 6.68509553373e-09, 5.69755025199e-09, 4.88021913336e-09,
+			1.071583544, 7.16363836402e-09, "SS×1.072 derate → 7.164e-09 s"},
+		{tech.N22, 3.14651284567e-09, 2.50489896721e-09, 2.02903487961e-09,
+			1.11626792285, 3.51235135847e-09, "SS×1.116 derate → 3.512e-09 s"},
+	}
+	const vdd, rel = 0.55, 1e-11
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > rel*math.Abs(want) {
+			t.Errorf("%s = %.12g, want pinned %.12g", name, got, want)
+		}
+	}
+	for _, c := range cases {
+		check(c.node.Name+" SS", ChainDelay(c.node, SS, vdd, tech.ChainLength), c.ss)
+		check(c.node.Name+" TT", ChainDelay(c.node, TT, vdd, tech.ChainLength), c.tt)
+		check(c.node.Name+" FF", ChainDelay(c.node, FF, vdd, tech.ChainLength), c.ff)
+		s := ChipSignoff(c.node, vdd, 12800)
+		check(c.node.Name+" derate", s.Derate, c.derate)
+		check(c.node.Name+" signoff", s.DelaySS, c.signoff)
+		if s.String() != c.str {
+			t.Errorf("%s String() = %q, want %q", c.node.Name, s.String(), c.str)
+		}
+	}
+}
+
+// TestOCVSigmaProperties: the path-count-aware OCV multiplier is the
+// Φ⁻¹(0.99^(1/n)) max statistic — monotone in the path count, anchored
+// at the single-path 99 % z-score, and clamped for degenerate counts.
+func TestOCVSigmaProperties(t *testing.T) {
+	if got, want := OCVSigma(1), 2.32634787404; math.Abs(got-want) > 1e-9 {
+		t.Errorf("OCVSigma(1) = %v, want Φ⁻¹(0.99) = %v", got, want)
+	}
+	for _, n := range []int{0, -7} {
+		if OCVSigma(n) != OCVSigma(1) {
+			t.Errorf("OCVSigma(%d) = %v, want the clamped single-path value", n, OCVSigma(n))
+		}
+	}
+	prev := 0.0
+	for _, n := range []int{1, 2, 10, 100, 1280, 12800, 128000} {
+		k := OCVSigma(n)
+		if k <= prev {
+			t.Fatalf("OCVSigma not strictly increasing at n=%d: %v after %v", n, k, prev)
+		}
+		prev = k
+	}
+	// The paper-scale machine: 12 800 paths push the max statistics near
+	// 4.8σ — far beyond the per-path 3σ convention.
+	if k := OCVSigma(12800); k < 4.5 || k > 5.0 {
+		t.Errorf("OCVSigma(12800) = %v, want ≈4.8", k)
+	}
+}
+
+// TestCornerChainProperties sweeps every node across the NTV band and
+// checks the structural corner facts: SS > TT > FF at every point,
+// delays positive and decreasing in Vdd corner-by-corner, and the
+// derate strictly above one and growing as Vdd drops (within-die spread
+// balloons near threshold).
+func TestCornerChainProperties(t *testing.T) {
+	vdds := []float64{0.50, 0.55, 0.60, 0.70, 0.90}
+	for _, node := range tech.Nodes() {
+		prevSS, prevDerate := math.Inf(1), math.Inf(1)
+		for _, vdd := range vdds {
+			ss := ChainDelay(node, SS, vdd, tech.ChainLength)
+			tt := ChainDelay(node, TT, vdd, tech.ChainLength)
+			ff := ChainDelay(node, FF, vdd, tech.ChainLength)
+			if !(ss > tt && tt > ff && ff > 0) {
+				t.Fatalf("%s @%.2fV: corner ordering broken: SS %v TT %v FF %v",
+					node.Name, vdd, ss, tt, ff)
+			}
+			if ss >= prevSS {
+				t.Errorf("%s: SS delay not decreasing in Vdd at %.2fV", node.Name, vdd)
+			}
+			prevSS = ss
+			d := OCVDerate(node, vdd, tech.ChainLength, 3)
+			if d <= 1 {
+				t.Errorf("%s @%.2fV: derate %v not above one", node.Name, vdd, d)
+			}
+			if d >= prevDerate {
+				t.Errorf("%s: derate not shrinking as Vdd rises at %.2fV", node.Name, vdd)
+			}
+			prevDerate = d
+		}
+	}
+}
+
+// TestOverMarginSign pins OverMarginPct's orientation: a signoff above
+// the statistical target is positive over-margin, equality is zero, and
+// an under-covering corner goes negative.
+func TestOverMarginSign(t *testing.T) {
+	s := Signoff{DelaySS: 2e-9}
+	if got := OverMarginPct(s, 1e-9); math.Abs(got-100) > 1e-9 {
+		t.Errorf("2× signoff over-margin = %v%%, want 100%%", got)
+	}
+	if got := OverMarginPct(s, 2e-9); math.Abs(got) > 1e-9 {
+		t.Errorf("exact signoff over-margin = %v%%, want 0", got)
+	}
+	if got := OverMarginPct(s, 4e-9); got >= 0 {
+		t.Errorf("under-covering signoff over-margin = %v%%, want negative", got)
+	}
+}

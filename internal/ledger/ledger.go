@@ -91,6 +91,13 @@ type Record struct {
 	Retries int `json:"retries,omitempty"`
 	Cached  int `json:"cached,omitempty"`
 
+	// Mode is the sweep's estimator knob ("mc", "ssta", "auto"); empty
+	// for jobs and for sweeps that never set it. Refined counts the
+	// grid points of an auto-mode sweep that fell inside the decision
+	// band and were confirmed with Monte-Carlo shards.
+	Mode    string `json:"mode,omitempty"`
+	Refined int    `json:"refined,omitempty"`
+
 	// Shards carries per-shard attempt provenance for sweep records.
 	Shards []ShardRecord `json:"shards,omitempty"`
 

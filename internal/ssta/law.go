@@ -1,0 +1,277 @@
+package ssta
+
+import (
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/device"
+	"github.com/ntvsim/ntvsim/internal/stats"
+)
+
+// Law is the analytic chip-delay law of an iid-paths SIMD datapath at
+// one supply voltage, built by conditioning on the die-level (D2D)
+// variation and integrating it out by quadrature — the D2D+WID split
+// preserved exactly:
+//
+//	path | (d, g)  ~  e^g · Normal(μ(d), σ(d))
+//
+// where d is the die V_th shift, g the log of the die multiplicative
+// factor, and μ(d), σ(d) the die-conditional chain moments from
+// internal/device (the within-die part, a sum of 50 iid gate delays,
+// is Gaussian by CLT — the moment-matched sum over the chain). The
+// unconditional path law is therefore a finite Gaussian mixture, and
+// under the paper's iid-paths methodology the lane and chip laws are
+// CDF powers of it:
+//
+//	F_lane = F_path^paths,   F_chip = F_path^(paths·lanes)
+//
+// This is the same statistical model internal/simd samples from; the
+// Law evaluates its quantiles and tail probabilities directly — no
+// sampling, no tabulated grid — so a kernel answered here carries no
+// Monte-Carlo noise and costs microseconds. Construction is pure; a
+// Law is immutable and safe for concurrent use.
+type Law struct {
+	paths, lanes int
+	mu, sigma, w []float64 // mixture components of the path law
+	lo, hi       float64   // quantile search bracket
+}
+
+// lawQuadPoints is the quadrature grid size per die-level axis. The
+// integrands are smooth Gaussian mixtures; 17-point normalized Simpson
+// over ±5σ matches internal/simd's law construction and resolves the
+// chip CDF well below Monte-Carlo noise at any practical sample count.
+const lawQuadPoints = 17
+
+// NewLaw builds the analytic law for chains of chainLen gates, paths
+// critical paths per lane and lanes lanes, at supply vdd.
+func NewLaw(dev device.Params, v device.Variation, vdd float64, chainLen, paths, lanes int) *Law {
+	dGrid, dW := lawGaussGrid(v.SigmaVthD2D, lawQuadPoints)
+	gGrid, gW := lawGaussGrid(v.SigmaMulD2D, lawQuadPoints)
+
+	l := &Law{
+		paths: paths, lanes: lanes,
+		mu:    make([]float64, 0, len(dGrid)*len(gGrid)),
+		sigma: make([]float64, 0, len(dGrid)*len(gGrid)),
+		w:     make([]float64, 0, len(dGrid)*len(gGrid)),
+		lo:    math.Inf(1), hi: math.Inf(-1),
+	}
+	for i, d := range dGrid {
+		m, vr := device.ChainConditionalMoments(dev, v, vdd, chainLen, d)
+		s := math.Sqrt(vr)
+		for j, g := range gGrid {
+			mul := math.Exp(g)
+			l.mu = append(l.mu, mul*m)
+			l.sigma = append(l.sigma, mul*s)
+			l.w = append(l.w, dW[i]*gW[j])
+			if lo := mul * (m - 9*s); lo < l.lo {
+				l.lo = lo
+			}
+			if hi := mul * (m + 12*s); hi > l.hi {
+				l.hi = hi
+			}
+		}
+	}
+	if l.lo < 0 {
+		l.lo = 0
+	}
+	return l
+}
+
+// lawGaussGrid returns a quadrature grid over ±5σ with normalized
+// Simpson × Gaussian-density weights; σ = 0 degenerates to a point
+// mass. It mirrors internal/simd's outer quadrature so the two
+// constructions describe the same mixture.
+func lawGaussGrid(sigma float64, n int) (grid, w []float64) {
+	if sigma == 0 {
+		return []float64{0}, []float64{1}
+	}
+	if n%2 == 0 {
+		n++
+	}
+	grid = make([]float64, n)
+	w = make([]float64, n)
+	lo, hi := -5*sigma, 5*sigma
+	h := (hi - lo) / float64(n-1)
+	var sum float64
+	for i := range grid {
+		x := lo + float64(i)*h
+		grid[i] = x
+		c := 2.0
+		switch {
+		case i == 0 || i == n-1:
+			c = 1
+		case i%2 == 1:
+			c = 4
+		}
+		z := x / sigma
+		w[i] = c * math.Exp(-0.5*z*z)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return grid, w
+}
+
+// PathCDF returns P(path delay ≤ x): the Gaussian-mixture CDF.
+func (l *Law) PathCDF(x float64) float64 {
+	return 1 - l.PathSurvival(x)
+}
+
+// PathSurvival returns P(path delay > x), summed in the survival
+// domain so deep upper tails keep full relative precision (the mixture
+// CDF saturates to 1 in float64 long before the chip tail does).
+func (l *Law) PathSurvival(x float64) float64 {
+	var s float64
+	for j := range l.mu {
+		s += l.w[j] * stats.Normal{Mu: l.mu[j], Sigma: l.sigma[j]}.CDF(2*l.mu[j]-x)
+	}
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// maxCDFPow returns P(max of n iid paths ≤ x) = F_path(x)^n, computed
+// from the path survival so the result stays accurate when F_path is
+// within float64 epsilon of 1.
+func (l *Law) maxCDFPow(x float64, n int) float64 {
+	s := l.PathSurvival(x)
+	if s >= 1 {
+		return 0
+	}
+	return math.Exp(float64(n) * math.Log1p(-s))
+}
+
+// LaneCDF returns P(lane delay ≤ x) for a lane of l's paths-per-lane
+// iid critical paths.
+func (l *Law) LaneCDF(x float64) float64 { return l.maxCDFPow(x, l.paths) }
+
+// ChipCDF returns P(chip delay ≤ x) for the zero-spare chip: the max
+// of paths·lanes iid path delays.
+func (l *Law) ChipCDF(x float64) float64 { return l.maxCDFPow(x, l.paths*l.lanes) }
+
+// ChipTail returns P(chip delay > x) = 1 − F_path(x)^N with N =
+// paths·lanes, evaluated as −expm1(N·log1p(−S)) over the path survival
+// S so tails far beyond float64's 1−F resolution remain exact to
+// relative precision — the k-sigma yield-loss estimand of the tail
+// kernels.
+func (l *Law) ChipTail(x float64) float64 {
+	s := l.PathSurvival(x)
+	if s >= 1 {
+		return 1
+	}
+	return -math.Expm1(float64(l.paths*l.lanes) * math.Log1p(-s))
+}
+
+// quantileBisect solves F_path(x) = p^(1/n) — i.e. the p-quantile of
+// the max of n iid paths — by bisection on the monotone path survival.
+// Solving in the path domain keeps conditioning: for the chip's p99,
+// p^(1/n) is within 1e-6 of 1, far better resolved as a survival
+// target than as a CDF power.
+func (l *Law) quantileBisect(p float64, n int) float64 {
+	if math.IsNaN(p) || p <= 0 {
+		return l.lo
+	}
+	if p >= 1 {
+		return l.hi
+	}
+	// Target path survival: 1 − p^(1/n), computed without cancellation.
+	target := -math.Expm1(math.Log(p) / float64(n))
+	lo, hi := l.lo, l.hi
+	for i := 0; i < 200 && hi-lo > 0; i++ {
+		mid := 0.5 * (lo + hi)
+		if l.PathSurvival(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*math.Max(math.Abs(lo), math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// ChipQuantile returns the p-quantile (seconds) of the zero-spare chip
+// delay.
+func (l *Law) ChipQuantile(p float64) float64 {
+	return l.quantileBisect(p, l.paths*l.lanes)
+}
+
+// LaneQuantile returns the p-quantile (seconds) of one lane's delay.
+func (l *Law) LaneQuantile(p float64) float64 {
+	return l.quantileBisect(p, l.paths)
+}
+
+// PathMoments returns the exact mean and standard deviation of the
+// path law (mixture moments — no Gaussian re-interpretation involved).
+func (l *Law) PathMoments() Gaussian {
+	var m1, m2 float64
+	for j := range l.mu {
+		m1 += l.w[j] * l.mu[j]
+		m2 += l.w[j] * (l.mu[j]*l.mu[j] + l.sigma[j]*l.sigma[j])
+	}
+	v := m2 - m1*m1
+	if v < 0 {
+		v = 0
+	}
+	return Gaussian{Mu: m1, Sigma: math.Sqrt(v)}
+}
+
+// momentsIntervals is the composite-Simpson resolution for the lane
+// and chip moment integrals; the integrands are smooth and compactly
+// concentrated inside [lo, hi], so 800 intervals give ≫ the accuracy
+// the MC cross-validation can distinguish.
+const momentsIntervals = 800
+
+// maxMomentsPow returns the moment-matched Gaussian of the max of n
+// iid paths by integrating x against its density n·f_path·F_path^(n−1)
+// with composite Simpson over the law's bracket.
+func (l *Law) maxMomentsPow(n int) Gaussian {
+	h := (l.hi - l.lo) / momentsIntervals
+	var z, m1, m2 float64
+	for i := 0; i <= momentsIntervals; i++ {
+		x := l.lo + float64(i)*h
+		w := 2.0
+		switch {
+		case i == 0 || i == momentsIntervals:
+			w = 1
+		case i%2 == 1:
+			w = 4
+		}
+		var f float64
+		for j := range l.mu {
+			f += l.w[j] * stats.Normal{Mu: l.mu[j], Sigma: l.sigma[j]}.PDF(x)
+		}
+		s := l.PathSurvival(x)
+		var d float64 // density of the n-fold max at x
+		if s < 1 {
+			d = float64(n) * f * math.Exp(float64(n-1)*math.Log1p(-s))
+		}
+		z += w * d
+		m1 += w * d * x
+		m2 += w * d * x * x
+	}
+	// Normalize by the integrated mass to absorb bracket truncation.
+	if z == 0 {
+		return Gaussian{}
+	}
+	m1 /= z
+	m2 /= z
+	v := m2 - m1*m1
+	if v < 0 {
+		v = 0
+	}
+	return Gaussian{Mu: m1, Sigma: math.Sqrt(v)}
+}
+
+// LaneMoments returns the moment-matched Gaussian of one lane's delay
+// (max over paths-per-lane iid paths).
+func (l *Law) LaneMoments() Gaussian { return l.maxMomentsPow(l.paths) }
+
+// ChipMoments returns the moment-matched Gaussian of the zero-spare
+// chip delay (max over paths·lanes iid paths).
+func (l *Law) ChipMoments() Gaussian { return l.maxMomentsPow(l.paths * l.lanes) }

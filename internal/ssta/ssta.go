@@ -1,15 +1,29 @@
 // Package ssta implements moment-based statistical static timing
-// analysis (Clark's max approximation) as the analytic counterpart to
-// the repository's Monte-Carlo chip-delay engine.
+// analysis — Clark's max approximation plus an analytic chip-delay law
+// — as the first-class analytic counterpart to the repository's
+// Monte-Carlo chip-delay engine.
 //
 // The paper sizes everything from Monte-Carlo distributions; an EDA
-// timing flow would instead propagate (μ, σ) pairs through max
+// timing flow would instead propagate (μ, σ) pairs through sum and max
 // operations using Clark's formulas (C. E. Clark, "The greatest of a
-// finite set of random variables", 1961). This package provides that
-// flow for the same lane/chip max-statistics and is validated against
-// the Monte-Carlo sampler in the tests — useful both as a cross-check
-// of the simulation and as a ~10⁴× faster estimator when only moments
-// are needed.
+// finite set of random variables", 1961). This package provides both
+// flows:
+//
+//   - the Clark moment algebra (Clark, MaxIID, Sum) for cheap Gaussian
+//     moment summaries, and
+//   - the Law type: the full analytic chip-delay law built by
+//     conditioning on the die-level (D2D) variation axes and applying
+//     quadrature, preserving the paper's D2D+WID split exactly —
+//     conditional on a die draw the 50-gate chain delay is Gaussian by
+//     CLT, so the unconditional path law is a Gaussian mixture and the
+//     lane/chip laws are powers of its CDF under the iid-paths model.
+//
+// The Law answers the same questions as the Monte-Carlo kernels
+// (p99 chip clock, k-sigma tail loss, 3σ/μ) in microseconds and is the
+// engine behind the sweep service's `mode: "ssta"` and `mode: "auto"`
+// estimators (docs/SSTA.md documents the model and its error
+// contract); the pure-Clark ChipP99 summary is kept as the cheaper,
+// skew-blind bound whose tail-underestimation the tests document.
 package ssta
 
 import (
@@ -29,6 +43,14 @@ type Gaussian struct {
 // Gaussian X, Y with correlation rho: the exact first two moments of
 // the max, re-interpreted as a Gaussian for further propagation.
 func Clark(x, y Gaussian, rho float64) Gaussian {
+	// Canonicalize the operand order. max(X, Y) is symmetric but the
+	// moment formulas are not bitwise so (Φ(α) and 1−Φ(−α) differ in
+	// the last ulp), so evaluate with the larger-mean operand first —
+	// making Clark(x, y, ρ) == Clark(y, x, ρ) exactly, a property the
+	// fuzz target pins.
+	if y.Mu > x.Mu || (y.Mu == x.Mu && y.Sigma > x.Sigma) {
+		x, y = y, x
+	}
 	theta := math.Sqrt(x.Sigma*x.Sigma + y.Sigma*y.Sigma - 2*rho*x.Sigma*y.Sigma)
 	if theta == 0 {
 		// Perfectly correlated equal-variance operands: max is the
@@ -54,18 +76,43 @@ func Clark(x, y Gaussian, rho float64) Gaussian {
 	return Gaussian{Mu: m1, Sigma: math.Sqrt(v)}
 }
 
+// Sum returns the moment-matched sum of independent Gaussians: means
+// add, variances add. It is exact (sums of independent Gaussians are
+// Gaussian) and is the chain-delay propagation step of the SSTA flow.
+func Sum(gs ...Gaussian) Gaussian {
+	var mu, v float64
+	for _, g := range gs {
+		mu += g.Mu
+		v += g.Sigma * g.Sigma
+	}
+	return Gaussian{Mu: mu, Sigma: math.Sqrt(v)}
+}
+
 // MaxIID returns the Clark-iterated approximation of the maximum of n
 // independent copies of g. Pairing is balanced (tournament order) —
 // iterating a tournament keeps the Gaussian re-interpretation error
 // far smaller than a linear fold.
+//
+// Identical tournament subtrees are memoized per subtree size, so the
+// cost is O(log n) Clark evaluations rather than O(n): the recursion
+// max(n) = Clark(max(⌈n/2⌉), max(⌊n/2⌋)) only ever visits O(log n)
+// distinct sizes, and the memoized results are bit-identical to the
+// plain recursion (pinned by the package goldens).
 func MaxIID(g Gaussian, n int) Gaussian {
 	if n <= 1 {
 		return g
 	}
-	// Tournament: max of n = max(max of ⌈n/2⌉, max of ⌊n/2⌋).
-	hi := MaxIID(g, (n+1)/2)
-	lo := MaxIID(g, n/2)
-	return Clark(hi, lo, 0)
+	memo := map[int]Gaussian{1: g}
+	var rec func(int) Gaussian
+	rec = func(m int) Gaussian {
+		if v, ok := memo[m]; ok {
+			return v
+		}
+		v := Clark(rec((m+1)/2), rec(m/2), 0)
+		memo[m] = v
+		return v
+	}
+	return rec(n)
 }
 
 // Quantile evaluates the Gaussian quantile of g.
@@ -85,15 +132,27 @@ type ChipModel struct {
 	ChainLen int
 }
 
-// ChipP99 returns the analytic 99 % chip-delay estimate (seconds) at
-// supply vdd under the paper's iid-path model: the path law's moments
-// are computed by quadrature, lifted through two Clark tournaments
-// (paths → lane, lanes → chip), and the 99 % point read off the final
-// Gaussian.
+// ChipP99 returns the pure-Clark analytic 99 % chip-delay estimate
+// (seconds) at supply vdd under the paper's iid-path model: the path
+// law's moments are computed by quadrature, lifted through two Clark
+// tournaments (paths → lane, lanes → chip), and the 99 % point read off
+// the final Gaussian.
+//
+// Because each tournament level re-interprets a right-skewed max as a
+// Gaussian, this estimate systematically under-reads the deep-NTV tail
+// (the package tests document ≈20 % at 22 nm / 0.55 V). The Law type's
+// ChipQuantile preserves the die-level mixture and does not share that
+// bias; it is what the service's ssta mode uses.
 func (m ChipModel) ChipP99(vdd float64) float64 {
 	mean, variance := device.ChainMoments(m.Dev, m.Var, vdd, m.ChainLen)
 	path := Gaussian{Mu: mean, Sigma: math.Sqrt(variance)}
 	lane := MaxIID(path, m.Paths)
 	chip := MaxIID(lane, m.Lanes)
 	return chip.Quantile(0.99)
+}
+
+// Law returns the analytic chip-delay law of the model at supply vdd —
+// see NewLaw for the construction.
+func (m ChipModel) Law(vdd float64) *Law {
+	return NewLaw(m.Dev, m.Var, vdd, m.ChainLen, m.Paths, m.Lanes)
 }

@@ -242,6 +242,14 @@ func (sw *Sweep) dispatch() {
 			continue
 		}
 		pt := sw.points[idx]
+		if sw.spec.Mode == ModeAuto {
+			// Count decision-band refinements at dispatch, cached or
+			// not: the metric tracks how much of the grid the SSTA
+			// screen could not resolve, independent of cache luck.
+			if m, err := sw.spec.pointMode(pt); err == nil && m != ModeSSTA {
+				mAutoRefined.Inc()
+			}
+		}
 		key := keyOf(sw.spec, pt)
 		if cached, ok := sw.eng.cache.Get(key); ok {
 			if sr, ok := cached.(*ShardResult); ok {
@@ -598,7 +606,8 @@ func (sw *Sweep) Snapshot() Snapshot {
 		if sr == nil {
 			continue
 		}
-		pr := PointResult{Point: sw.points[i], Value: sr.Value, Render: sr.Text, IS: sr.IS}
+		pr := PointResult{Point: sw.points[i], Value: sr.Value, Render: sr.Text, IS: sr.IS,
+			Mode: sw.spec.resolvedMode(sw.points[i])}
 		snap.Results = append(snap.Results, pr)
 	}
 	sort.Slice(snap.Results, func(i, j int) bool { return snap.Results[i].Index < snap.Results[j].Index })

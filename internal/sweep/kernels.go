@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"github.com/ntvsim/ntvsim/internal/device"
 	"github.com/ntvsim/ntvsim/internal/experiments"
 	"github.com/ntvsim/ntvsim/internal/importance"
 	"github.com/ntvsim/ntvsim/internal/montecarlo"
@@ -64,6 +65,22 @@ type Kernel struct {
 	// likelihood weights also return their weight diagnostics; plain
 	// kernels return nil.
 	Eval func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, opt Options) (float64, *importance.Diagnostics, error)
+
+	// SSTA evaluates the same estimand from the kernel's analytic
+	// (statistical static timing analysis) law — no sampling, no seed,
+	// microseconds per point; docs/SSTA.md states the error contract
+	// against Eval. Nil for kernels whose estimator is inherently
+	// sampled (the importance-sampling kernels); specs asking for mode
+	// ssta/auto on those are rejected with ErrModeUnsupported.
+	SSTA func(node tech.Node, vdd float64, opt Options) (float64, error)
+}
+
+// Modes returns the estimator modes the kernel accepts in Spec.Mode.
+func (k Kernel) Modes() []string {
+	if k.SSTA != nil {
+		return []string{ModeMC, ModeSSTA, ModeAuto}
+	}
+	return []string{ModeMC}
 }
 
 // kernels is the metric registry, keyed by id.
@@ -120,6 +137,18 @@ func tailYieldEval(ctx context.Context, node tech.Node, vdd float64, samples int
 	return loss * 1e6, &diag, nil
 }
 
+// tailYieldSSTA is the analytic twin of tailYieldEval: the k-sigma tail
+// loss in ppm read off the chip law's survival function at the same
+// Φ(k) chip-delay quantile the sampled estimators threshold against, so
+// all three estimators share one estimand.
+func tailYieldSSTA(node tech.Node, vdd, tailSigma float64) (float64, error) {
+	target, err := simd.New(node).ChipQuantile(vdd, stdNormal.CDF(tailSigma))
+	if err != nil {
+		return 0, err
+	}
+	return chipLaw(node, vdd).ChipTail(target) * 1e6, nil
+}
+
 func init() {
 	registerKernel(Kernel{
 		ID:   "chain3sigma",
@@ -134,6 +163,10 @@ func init() {
 				return 0, nil, err
 			}
 			return stats.ThreeSigmaOverMu(xs), nil, nil
+		},
+		SSTA: func(node tech.Node, vdd float64, _ Options) (float64, error) {
+			mean, variance := device.ChainMoments(node.Dev, node.Var, vdd, tech.ChainLength)
+			return device.ThreeSigmaOverMu(mean, variance), nil
 		},
 	})
 	registerKernel(Kernel{
@@ -150,6 +183,10 @@ func init() {
 			}
 			return stats.ThreeSigmaOverMu(xs), nil, nil
 		},
+		SSTA: func(node tech.Node, vdd float64, _ Options) (float64, error) {
+			mean, variance := device.GateMoments(node.Dev, node.Var, vdd)
+			return device.ThreeSigmaOverMu(mean, variance), nil
+		},
 	})
 	registerKernel(Kernel{
 		ID:   "p99chipclock",
@@ -159,6 +196,9 @@ func init() {
 		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
 			v, err := simd.New(node).P99ChipDelayFO4Ctx(ctx, seed, samples, vdd, 0)
 			return v, nil, err
+		},
+		SSTA: func(node tech.Node, vdd float64, _ Options) (float64, error) {
+			return chipLaw(node, vdd).ChipQuantile(0.99) / simd.New(node).FO4(vdd), nil
 		},
 	})
 	registerKernel(Kernel{
@@ -189,6 +229,9 @@ func init() {
 		Tail:        true, ISTwin: "yield_is",
 		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, opt Options) (float64, *importance.Diagnostics, error) {
 			return tailYieldEval(ctx, node, vdd, samples, seed, importance.Params{Mix: 1}, opt.TailSigma)
+		},
+		SSTA: func(node tech.Node, vdd float64, opt Options) (float64, error) {
+			return tailYieldSSTA(node, vdd, opt.TailSigma)
 		},
 	})
 	registerKernel(Kernel{

@@ -22,6 +22,13 @@ type PointResult struct {
 	Point
 	Value  float64 `json:"value"`
 	Render string  `json:"render,omitempty"`
+	// Mode is the estimator that answered this point — ModeSSTA or
+	// ModeMC — on sweeps that set Spec.Mode; empty on plain sweeps, so
+	// their merged results stay byte-identical to pre-knob releases. On
+	// auto sweeps it records which side of the decision band the point
+	// fell on. Stamped at merge time by pure recomputation from the
+	// spec, never stored in cached shard outputs.
+	Mode string `json:"mode,omitempty"`
 	// IS carries weight diagnostics for importance-sampled points
 	// (docs/SAMPLING.md); nil for plain kernels.
 	IS *importance.Diagnostics `json:"is,omitempty"`
@@ -51,8 +58,13 @@ func (r *Result) Render() string {
 		if r.Unit != "" {
 			value = fmt.Sprintf("value (%s)", r.Unit)
 		}
+		hasMode := r.hasMode()
 		if r.hasIS() {
-			t := report.NewTable("", "#", "node", "Vdd", "samples", value, "ESS", "ESS/N", "max w")
+			header := []string{"#", "node", "Vdd", "samples", value, "ESS", "ESS/N", "max w"}
+			if hasMode {
+				header = append(header, "mode")
+			}
+			t := report.NewTable("", header...)
 			for _, p := range r.Points {
 				ess, frac, maxw := "", "", ""
 				if p.IS != nil {
@@ -63,18 +75,30 @@ func (r *Result) Render() string {
 					}
 					maxw = fmt.Sprintf("%.3g", p.IS.MaxW)
 				}
-				t.AddRowf(strconv.Itoa(p.Index), p.Node,
+				row := []string{strconv.Itoa(p.Index), p.Node,
 					fmt.Sprintf("%.3f V", p.Vdd), strconv.Itoa(p.Samples),
-					fmt.Sprintf("%.6g", p.Value), ess, frac, maxw)
+					fmt.Sprintf("%.6g", p.Value), ess, frac, maxw}
+				if hasMode {
+					row = append(row, p.Mode)
+				}
+				t.AddRowf(row...)
 			}
 			b.WriteString(t.String())
 			return b.String()
 		}
-		t := report.NewTable("", "#", "node", "Vdd", "samples", value)
+		header := []string{"#", "node", "Vdd", "samples", value}
+		if hasMode {
+			header = append(header, "mode")
+		}
+		t := report.NewTable("", header...)
 		for _, p := range r.Points {
-			t.AddRowf(strconv.Itoa(p.Index), p.Node,
+			row := []string{strconv.Itoa(p.Index), p.Node,
 				fmt.Sprintf("%.3f V", p.Vdd), strconv.Itoa(p.Samples),
-				fmt.Sprintf("%.6g", p.Value))
+				fmt.Sprintf("%.6g", p.Value)}
+			if hasMode {
+				row = append(row, p.Mode)
+			}
+			t.AddRowf(row...)
 		}
 		b.WriteString(t.String())
 		return b.String()
@@ -97,15 +121,31 @@ func (r *Result) hasIS() bool {
 	return false
 }
 
+// hasMode reports whether any point records its estimator, which
+// appends the mode column to the rendered table and CSV. Plain sweeps
+// never set it, keeping their layouts byte-identical to pre-knob
+// releases.
+func (r *Result) hasMode() bool {
+	for _, p := range r.Points {
+		if p.Mode != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // CSV implements experiments.CSVer for metric sweeps. Sweeps with
 // importance-weight diagnostics append ess, ess_frac, max_weight and
 // degenerate columns; plain sweeps keep the original five-column
 // layout.
 func (r *Result) CSV() [][]string {
-	hasIS := r.hasIS()
+	hasIS, hasMode := r.hasIS(), r.hasMode()
 	header := []string{"index", "node", "vdd_v", "samples", "value"}
 	if hasIS {
 		header = append(header, "ess", "ess_frac", "max_weight", "degenerate")
+	}
+	if hasMode {
+		header = append(header, "mode")
 	}
 	rows := [][]string{header}
 	for _, p := range r.Points {
@@ -125,6 +165,9 @@ func (r *Result) CSV() [][]string {
 			} else {
 				row = append(row, "", "", "", "")
 			}
+		}
+		if hasMode {
+			row = append(row, p.Mode)
 		}
 		rows = append(rows, row)
 	}
@@ -150,10 +193,28 @@ type shardKey struct {
 	TailSigma float64 `json:"tail_sigma,omitempty"`
 	ISShift   float64 `json:"is_shift,omitempty"`
 	ISMix     float64 `json:"is_mix,omitempty"`
+	// Mode is set (to ModeSSTA) only for analytically-evaluated shards.
+	// Absent for every Monte-Carlo shard — whether from a plain, mc, or
+	// auto-refined sweep — so MC keys are byte-identical across modes
+	// and to pre-knob releases, and auto-refined shards interoperate
+	// with plain sweeps' cache entries.
+	Mode string `json:"mode,omitempty"`
 }
 
-// keyOf returns the shard's result-cache key.
+// keyOf returns the shard's result-cache key. An SSTA-evaluated shard's
+// key carries the mode tag and drops the sampling parameterization
+// (samples and seed are zeroed — the analytic estimator has neither),
+// so ssta sweeps with different sample axes share one cache entry per
+// (kernel, node, Vdd, tail target) and an auto sweep's non-refined
+// points hit pure-ssta sweeps' entries.
 func keyOf(spec Spec, pt Point) string {
+	if m, err := spec.pointMode(pt); err == nil && m == ModeSSTA {
+		return resultcache.Key(shardKey{
+			V: "sweep-shard/v1", Kernel: spec.id(),
+			Node: pt.Node, Vdd: pt.Vdd,
+			TailSigma: spec.TailSigma, Mode: ModeSSTA,
+		})
+	}
 	return resultcache.Key(shardKey{
 		V: "sweep-shard/v1", Kernel: spec.id(),
 		Node: pt.Node, Vdd: pt.Vdd, Samples: pt.Samples, Seed: pt.Seed,
@@ -207,6 +268,18 @@ func evalPoint(ctx context.Context, spec Spec, pt Point) (*ShardResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := spec.pointMode(pt)
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeSSTA {
+		v, err := sstaEval(k, node, pt.Vdd, spec.options())
+		if err != nil {
+			return nil, err
+		}
+		mSSTAEvals.Inc()
+		return &ShardResult{Kernel: spec.Metric, Point: pt, Value: v}, nil
+	}
 	v, diag, err := k.Eval(ctx, node, pt.Vdd, pt.Samples, pt.Seed, spec.options())
 	if err != nil {
 		return nil, err
@@ -222,7 +295,11 @@ func merge(spec Spec, points []Point, shards []*ShardResult) *Result {
 	}
 	res.Points = make([]PointResult, 0, len(points))
 	for i, pt := range points {
-		pr := PointResult{Point: pt}
+		// The mode stamp is recomputed from the spec here rather than
+		// read from the shard output: cached ShardResults are shared
+		// across sweeps with different mode knobs, so a stored stamp
+		// would leak one sweep's estimator label into another's result.
+		pr := PointResult{Point: pt, Mode: spec.resolvedMode(pt)}
 		if sr := shards[i]; sr != nil {
 			pr.Value = sr.Value
 			pr.Render = sr.Text

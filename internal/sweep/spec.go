@@ -100,6 +100,24 @@ type Spec struct {
 	// kernel, so sampler:"is" with metric:"tailyield" runs yield_is.
 	// See docs/SAMPLING.md for when each is trustworthy.
 	Sampler string `json:"sampler,omitempty"`
+	// Mode selects the estimator: "mc" (the default — Monte-Carlo at
+	// every grid point), "ssta" (the kernel's analytic law at every
+	// point, microseconds instead of minutes), or "auto" (SSTA screen
+	// over the full grid, MC shards only for points within AutoBand of
+	// the AutoThreshold decision boundary). Rejected with
+	// ErrModeUnsupported for importance-sampling kernels, whose
+	// estimator is inherently sampled. See docs/SSTA.md.
+	Mode string `json:"mode,omitempty"`
+	// AutoBand is the relative half-width of the auto-mode decision
+	// band: a point whose SSTA-screened value v satisfies
+	// |v − AutoThreshold| ≤ AutoBand·|AutoThreshold| is refined with a
+	// Monte-Carlo shard. Zero means DefaultAutoBand; auto mode only.
+	AutoBand float64 `json:"auto_band,omitempty"`
+	// AutoThreshold is the auto-mode decision boundary, in the kernel's
+	// own unit (e.g. FO4 for p99chipclock, ppm for tailyield) — the
+	// pass/fail line whose borderline neighborhood deserves MC
+	// confirmation. Required (non-zero, finite) for auto mode.
+	AutoThreshold float64 `json:"auto_threshold,omitempty"`
 	// TailSigma is the sigma level k of the chip-delay tail target for
 	// yield kernels: the pass/fail threshold is the Φ(k) quantile of
 	// the analytic chip law. Zero means DefaultTailSigma. Rejected for
@@ -207,10 +225,18 @@ func (s Spec) Normalized() (Spec, error) {
 	default:
 		return Spec{}, fmt.Errorf("sweep: sampler %q must be \"mc\" or \"is\"", s.Sampler)
 	}
+	switch s.Mode {
+	case "", ModeMC, ModeSSTA, ModeAuto:
+	default:
+		return Spec{}, fmt.Errorf("sweep: mode %q must be %q, %q or %q", s.Mode, ModeMC, ModeSSTA, ModeAuto)
+	}
 
 	if s.Experiment != "" {
 		if s.Sampler != "" || s.TailSigma != 0 || s.ISShift != 0 || s.ISMix != 0 {
 			return Spec{}, fmt.Errorf("sweep: sampler knobs apply only to metric sweeps, not experiment %q", s.Experiment)
+		}
+		if s.Mode != "" || s.AutoBand != 0 || s.AutoThreshold != 0 {
+			return Spec{}, fmt.Errorf("sweep: mode applies only to metric sweeps, not experiment %q", s.Experiment)
 		}
 		info, ok := experiments.Lookup(s.Experiment)
 		if !ok {
@@ -279,6 +305,28 @@ func (s Spec) Normalized() (Spec, error) {
 		s.ISShift, s.ISMix = p.Shift, p.Mix
 	} else if s.ISShift != 0 || s.ISMix != 0 {
 		return Spec{}, fmt.Errorf("sweep: is_shift/is_mix apply only to importance-sampling metrics, not %q", s.Metric)
+	}
+	if s.Mode == ModeSSTA || s.Mode == ModeAuto {
+		if k.SSTA == nil {
+			hint := ""
+			if k.MCTwin != "" {
+				hint = fmt.Sprintf(" (its plain-MC twin %q supports them)", k.MCTwin)
+			}
+			return Spec{}, fmt.Errorf("sweep: metric %q: %w — mode %q needs one%s", s.Metric, ErrModeUnsupported, s.Mode, hint)
+		}
+	}
+	if s.Mode == ModeAuto {
+		if s.AutoThreshold == 0 || math.IsNaN(s.AutoThreshold) || math.IsInf(s.AutoThreshold, 0) {
+			return Spec{}, fmt.Errorf("sweep: mode %q needs a non-zero finite auto_threshold decision boundary in the kernel's unit", ModeAuto)
+		}
+		if s.AutoBand == 0 {
+			s.AutoBand = DefaultAutoBand
+		}
+		if s.AutoBand < 0 || math.IsNaN(s.AutoBand) || math.IsInf(s.AutoBand, 0) {
+			return Spec{}, fmt.Errorf("sweep: auto_band %g must be a non-negative finite fraction", s.AutoBand)
+		}
+	} else if s.AutoBand != 0 || s.AutoThreshold != 0 {
+		return Spec{}, fmt.Errorf("sweep: auto_band/auto_threshold apply only to mode %q", ModeAuto)
 	}
 	if len(s.Nodes) == 0 {
 		for _, n := range tech.Nodes() {

@@ -1,0 +1,128 @@
+package timingerr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/rng"
+)
+
+// TestLaneErrorsBinomial checks the error draw against its Binomial
+// law: bounds respected at every draw, degenerate probabilities exact,
+// and the empirical mean within a few standard errors of lanes·p.
+func TestLaneErrorsBinomial(t *testing.T) {
+	const lanes, p, ops = 128, 0.03, 4000
+	r := rng.NewSub(20120603, 1)
+	var sum float64
+	for i := 0; i < ops; i++ {
+		e := LaneErrors(r, lanes, p)
+		if e < 0 || e > lanes {
+			t.Fatalf("LaneErrors = %d outside [0, %d]", e, lanes)
+		}
+		sum += float64(e)
+	}
+	mean := sum / ops
+	want := float64(lanes) * p
+	se := math.Sqrt(float64(lanes) * p * (1 - p) / ops)
+	if math.Abs(mean-want) > 5*se {
+		t.Errorf("mean lane errors %v, want %v ± %v", mean, want, 5*se)
+	}
+
+	if LaneErrors(r, lanes, 0) != 0 || LaneErrors(r, lanes, -1) != 0 {
+		t.Error("p <= 0 must draw zero errors")
+	}
+	if LaneErrors(r, lanes, 1) != lanes {
+		t.Error("p = 1 must err every lane")
+	}
+}
+
+// TestDecoupledNeverStallsMoreThanStall drives the Stall and Decoupled
+// policies with identical random draws (both consume exactly one
+// uniform per lane per operation when p > 0) and asserts the paper's
+// point structurally: per-lane decoupling queues can only remove
+// whole-datapath stalls, never add them — every decoupled stall cycle
+// coincides with an operation Stall would also have stalled on.
+func TestDecoupledNeverStallsMoreThanStall(t *testing.T) {
+	const lanes, p, ops = 64, 0.05, 2000
+	stall := Stall{Lanes: lanes, P: p}
+	dec := NewDecoupled(lanes, p, 2)
+	rs := rng.NewSub(7, 3)
+	rd := rng.NewSub(7, 3)
+	var stallCycles, decCycles int
+	for i := 0; i < ops; i++ {
+		sPen, sErrs := stall.Penalty(rs)
+		dPen, dErrs := dec.Penalty(rd)
+		if sErrs != dErrs {
+			t.Fatalf("op %d: policies diverged on identical draws: %d vs %d errors", i, sErrs, dErrs)
+		}
+		if dPen > sPen {
+			t.Fatalf("op %d: decoupled stalled (%d) where stall did not (%d)", i, dPen, sPen)
+		}
+		stallCycles += sPen
+		decCycles += dPen
+	}
+	if decCycles >= stallCycles {
+		t.Errorf("decoupling absorbed nothing: %d vs %d stall cycles", decCycles, stallCycles)
+	}
+	if decCycles == 0 {
+		t.Error("no decoupled stalls at all; queue overflow path never exercised")
+	}
+}
+
+// TestDecoupledDeterministicOverflow forces p = 1 so every lane errs on
+// every operation: the backlog fills for QueueDepth operations without
+// a stall, then the micro-barrier fires on every subsequent operation —
+// the exact saturation behavior of a depth-q decoupling queue under a
+// worst-case error storm.
+func TestDecoupledDeterministicOverflow(t *testing.T) {
+	const lanes, q = 8, 3
+	d := NewDecoupled(lanes, 1, q)
+	r := rng.NewSub(1, 0)
+	for i := 0; i < 12; i++ {
+		pen, errs := d.Penalty(r)
+		if errs != lanes {
+			t.Fatalf("op %d: %d errors, want all %d lanes", i, errs, lanes)
+		}
+		want := 0
+		if i >= q {
+			want = 1
+		}
+		if pen != want {
+			t.Fatalf("op %d: stall %d, want %d (queue depth %d)", i, pen, want, q)
+		}
+	}
+	// Reset restores the full queue headroom.
+	d.Reset()
+	if pen, _ := d.Penalty(r); pen != 0 {
+		t.Error("stall immediately after Reset; backlog not cleared")
+	}
+}
+
+// TestFlushDepthFloor: a non-positive pipeline depth still costs at
+// least one cycle per erring operation.
+func TestFlushDepthFloor(t *testing.T) {
+	f := FlushReplay{Lanes: 4, P: 1, Depth: 0}
+	r := rng.NewSub(5, 0)
+	pen, errs := f.Penalty(r)
+	if pen != 1 || errs != 4 {
+		t.Errorf("Penalty = (%d, %d), want (1, 4) with floored depth", pen, errs)
+	}
+}
+
+// TestPolicyStrings pins the compact descriptions experiment renders
+// embed in their output.
+func TestPolicyStrings(t *testing.T) {
+	if got := (Stall{Lanes: 8, P: 0.01}).String(); got != "stall(p=0.01)" {
+		t.Errorf("Stall string %q", got)
+	}
+	if got := (FlushReplay{Lanes: 8, P: 0.01, Depth: 6}).String(); got != "flush(p=0.01,depth=6)" {
+		t.Errorf("FlushReplay string %q", got)
+	}
+	if got := NewDecoupled(8, 0.01, 4).String(); got != "decoupled(p=0.01,q=4)" {
+		t.Errorf("Decoupled string %q", got)
+	}
+	// The queue-depth floor is visible in the description.
+	if got := NewDecoupled(8, 0.01, 0).String(); got != "decoupled(p=0.01,q=1)" {
+		t.Errorf("floored Decoupled string %q", got)
+	}
+}
