@@ -32,6 +32,7 @@ const (
 	codeSweepNotCancellable  = "sweep_not_cancellable" // sweep already terminal
 	codeShardFailed          = "shard_failed"          // sweep failed: shard failures exceeded the budget
 	codeStreamingUnsupported = "streaming_unsupported" // transport cannot flush SSE
+	codeDeprecatedParameter  = "deprecated_parameter"  // retired query parameter (e.g. experiments format=ids)
 	codeInternal             = "internal"              // unexpected server-side failure
 )
 

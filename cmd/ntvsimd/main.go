@@ -7,8 +7,10 @@
 //
 // Usage:
 //
-//	ntvsimd [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
+//	ntvsimd [-role standalone|coordinator|worker]
+//	        [-addr :8080] [-debug-addr addr] [-workers N] [-queue N] [-cache N]
 //	        [-data-dir DIR] [-profile-jobs] [-trace-buffer N]
+//	        [-coordinator URL] [-worker-id ID] [-lease-ttl 30s] [-lease-batch N]
 //	        [-drain-timeout 30s] [-log-format text|json] [-log-level debug|info|warn|error]
 //
 // With -data-dir set, every completed job and sweep is appended to a
@@ -19,6 +21,18 @@
 // `profile` knob) additionally captures CPU and heap pprof profiles per
 // job next to the ledger.
 //
+// Cluster mode (see docs/CLUSTER.md): with -role coordinator the daemon
+// additionally journals every sweep to a durable shard journal under
+// -data-dir and fans shards out to pull-based workers over
+// /v1/cluster/* — lease, heartbeat, complete — with lease-expiry
+// work-stealing; the journal is replayed on boot so a killed
+// coordinator resumes interrupted sweeps with uploaded shard results
+// intact. With -role worker the daemon runs no HTTP server at all: it
+// polls -coordinator for shard leases, evaluates them through the same
+// kernel dispatch a local sweep uses, and uploads results until killed.
+// The merged result of an N-worker sweep is byte-identical to the same
+// spec run serially.
+//
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
 // submissions (new ones get a typed 503 shutting_down envelope and
 // /healthz flips to "draining"), lets in-flight jobs finish for up to
@@ -27,7 +41,8 @@
 //
 // Endpoints (see docs/API.md, docs/SWEEPS.md and docs/OBSERVABILITY.md):
 //
-//	GET  /v1/experiments           list experiments (typed; ?format=ids deprecated)
+//	GET  /v1                       machine-readable surface index (routes, versions, role)
+//	GET  /v1/experiments           list experiments (typed; ?format=ids retired in rev 9)
 //	POST /v1/jobs                  enqueue an experiment run
 //	GET  /v1/jobs                  list jobs (state=, limit=, offset=)
 //	GET  /v1/jobs/{id}             job status and result
@@ -41,6 +56,10 @@
 //	POST /v1/sweeps/{id}/cancel    cancel every non-terminal shard
 //	GET  /v1/runs                  run-ledger listing (kind=, state=, experiment=, limit=, offset=)
 //	GET  /v1/runs/{id}             one recorded run: spec, seed, build, shards, trace, profiles
+//	GET  /v1/cluster               coordinator status: queue depth, leases, workers
+//	POST /v1/cluster/lease         worker shard-lease claim (batch)
+//	POST /v1/cluster/heartbeat     worker lease renewal
+//	POST /v1/cluster/complete      worker shard-result upload
 //	GET  /debug/trace/{id}         span tree of a job or sweep (?format=chrome for Perfetto)
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /metrics/expvar           legacy expvar JSON dump
@@ -62,6 +81,8 @@ import (
 	"runtime"
 	"syscall"
 	"time"
+
+	"github.com/ntvsim/ntvsim/internal/cluster"
 )
 
 // newLogger builds the process logger from the -log-format/-log-level
@@ -92,6 +113,11 @@ func newLogger(format, level string) (*slog.Logger, error) {
 }
 
 func main() {
+	role := flag.String("role", "standalone", "process role: standalone, coordinator or worker (see docs/CLUSTER.md)")
+	coordinatorURL := flag.String("coordinator", "", "coordinator base URL a worker pulls shard leases from (worker role only)")
+	workerID := flag.String("worker-id", "", "stable worker identity for lease attribution (worker role; default hostname-pid)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "shard lease time-to-live before the coordinator re-queues it (coordinator role; 0: default 30s)")
+	leaseBatch := flag.Int("lease-batch", 2, "max shard leases a worker claims per poll (worker role)")
 	addr := flag.String("addr", ":8080", "listen address of the public API")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for pprof and /debug/vars (empty: disabled)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment jobs")
@@ -116,6 +142,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ntvsimd: -profile-jobs requires -data-dir (profiles are written next to the run ledger)")
 		os.Exit(2)
 	}
+	switch *role {
+	case "standalone":
+	case "coordinator":
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "ntvsimd: -role coordinator requires -data-dir (the shard journal lives there)")
+			os.Exit(2)
+		}
+	case "worker":
+		// A worker is a thin puller with no HTTP surface of its own: it
+		// leases shards from the coordinator, evaluates them through the
+		// same kernel dispatch a local sweep uses, and uploads results
+		// until its context is cancelled.
+		if *coordinatorURL == "" {
+			fmt.Fprintln(os.Stderr, "ntvsimd: -role worker requires -coordinator URL")
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		w := &cluster.Worker{
+			Coordinator: *coordinatorURL,
+			ID:          *workerID,
+			MaxShards:   *leaseBatch,
+			Log:         logger,
+		}
+		logger.Info("worker starting", "coordinator", *coordinatorURL, "lease_batch", *leaseBatch)
+		if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			logger.Error("worker exited", "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("worker stopped")
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ntvsimd: unknown -role %q (standalone|coordinator|worker)\n", *role)
+		os.Exit(2)
+	}
 	s, err := newServerWith(serverConfig{
 		workers:     *workers,
 		queueDepth:  *queue,
@@ -123,6 +184,8 @@ func main() {
 		traceBuffer: *traceBuffer,
 		dataDir:     *dataDir,
 		profileJobs: *profileJobs,
+		role:        *role,
+		leaseTTL:    *leaseTTL,
 		logger:      logger,
 	})
 	if err != nil {
@@ -131,6 +194,10 @@ func main() {
 	}
 	if *dataDir != "" {
 		logger.Info("run ledger enabled", "data_dir", *dataDir, "replayed_runs", s.ledger.Len())
+	}
+	if s.cluster != nil {
+		logger.Info("coordinator serving shard leases", "lease_ttl", s.cluster.LeaseTTL().String(),
+			"journal_entries", s.cluster.Status().JournalEntries)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -185,8 +252,13 @@ func main() {
 	}
 	stop()
 	<-drained // the drain goroutine owns the worker pool's shutdown
-	// Jobs have drained, so every job record is on disk; sync and close
-	// the ledger journal last.
+	// Jobs have drained, so every record is on disk; seal the shard
+	// journal and the run ledger last.
+	if s.cluster != nil {
+		if err := s.cluster.Close(); err != nil {
+			logger.Warn("cluster close failed", "error", err.Error())
+		}
+	}
 	if err := s.ledger.Close(); err != nil {
 		logger.Warn("ledger close failed", "error", err.Error())
 	}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -151,6 +152,7 @@ func (s *server) recordSweep(sw *sweep.Sweep) {
 	// change to the shard wire format.
 	points := snap.Spec.Grid()
 	rec.Shards = make([]ledger.ShardRecord, 0, len(snap.Shards))
+	workers := map[string]bool{}
 	for _, sh := range snap.Shards {
 		sr := ledger.ShardRecord{
 			Index:   sh.Index,
@@ -158,7 +160,11 @@ func (s *server) recordSweep(sw *sweep.Sweep) {
 			Cached:  sh.Cached,
 			Retries: sh.Retries,
 			JobID:   sh.JobID,
+			Worker:  sh.Worker,
 			Error:   sh.Error,
+		}
+		if sh.Worker != "" {
+			workers[sh.Worker] = true
 		}
 		if sh.Index < len(points) {
 			sr.Seed = points[sh.Index].Seed
@@ -167,6 +173,13 @@ func (s *server) recordSweep(sw *sweep.Sweep) {
 		if sh.State == sweep.ShardDone && !sh.Cached && sh.Index < len(points) {
 			rec.Samples += int64(points[sh.Index].Samples)
 		}
+	}
+	if len(workers) > 0 {
+		rec.Workers = make([]string, 0, len(workers))
+		for w := range workers {
+			rec.Workers = append(rec.Workers, w)
+		}
+		sort.Strings(rec.Workers)
 	}
 	ds := make([]*importance.Diagnostics, 0, len(snap.Results))
 	for i := range snap.Results {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/ntvsim/ntvsim/internal/buildinfo"
+	"github.com/ntvsim/ntvsim/internal/cluster"
 	"github.com/ntvsim/ntvsim/internal/experiments"
 	"github.com/ntvsim/ntvsim/internal/jobs"
 	"github.com/ntvsim/ntvsim/internal/ledger"
@@ -162,9 +163,12 @@ type server struct {
 	cache   *resultcache.Cache[experiments.Result]
 	traces  *telemetry.TraceStore
 	ledger  *ledger.Ledger // nil without -data-dir: recording disabled
+	cluster *cluster.Coordinator
+	role    string // standalone | coordinator
 	log     *slog.Logger
 	workers int
 	mux     *http.ServeMux
+	routes  []route // the registered surface, served by GET /v1
 
 	// profileJobs captures CPU+heap profiles for every job (the
 	// -profile-jobs flag); individual submissions opt in via the
@@ -197,6 +201,8 @@ type serverConfig struct {
 	traceBuffer int    // trace-ring capacity; 0 means defaultTraceBuffer
 	dataDir     string // run-ledger directory; "" disables the ledger
 	profileJobs bool   // capture CPU+heap profiles for every job
+	role        string // standalone (default) or coordinator
+	leaseTTL    time.Duration
 	logger      *slog.Logger
 }
 
@@ -252,33 +258,68 @@ func newServerWith(cfg serverConfig) (*server, error) {
 		s.profilePath = make(map[string][]string)
 		s.jobs.SetObserver(s.observeJob)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
-	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
-	s.mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleCancelSweep)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
-	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
-	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.Handle("GET /metrics/expvar", expvar.Handler())
+	switch cfg.role {
+	case "", "standalone":
+		s.role = "standalone"
+	case "coordinator":
+		s.role = "coordinator"
+		if cfg.dataDir == "" {
+			s.jobs.Close()
+			return nil, errors.New("coordinator role needs -data-dir for the shard journal")
+		}
+		co, err := cluster.New(cluster.Config{
+			DataDir:  cfg.dataDir,
+			LeaseTTL: cfg.leaseTTL,
+			Log:      logger,
+		})
+		if err != nil {
+			s.jobs.Close()
+			s.ledger.Close()
+			return nil, err
+		}
+		s.cluster = co
+		s.sweeps.SetRemote(co)
+		resumed, err := co.Replay(s.base, s.sweeps)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		if resumed > 0 {
+			logger.Info("cluster journal replayed", "resumed_sweeps", resumed)
+		}
+		// Sweeps resumed mid-flight still owe the run ledger their
+		// terminal record; re-attach the recorder the original boot lost.
+		if s.ledger != nil {
+			for _, snap := range s.sweeps.List() {
+				if snap.State == sweep.Running {
+					if sw, ok := s.sweeps.Get(snap.ID); ok {
+						go s.recordSweep(sw)
+					}
+				}
+			}
+		}
+	default:
+		s.jobs.Close()
+		return nil, errors.New("unknown role " + strconv.Quote(cfg.role) + " (one of standalone, coordinator, worker)")
+	}
+	s.routes = s.routeTable()
+	for _, rt := range s.routes {
+		s.mux.HandleFunc(rt.method+" "+rt.pattern, rt.h)
+	}
 	active.Store(s)
 	return s, nil
 }
 
-// close drains the worker pool and closes the run ledger; used by main
-// on shutdown and by tests.
+// close drains the worker pool, shuts the cluster coordinator (sealing
+// the shard journal) and closes the run ledger; used by main on
+// shutdown and by tests.
 func (s *server) close() {
 	s.jobs.Close()
+	if s.cluster != nil {
+		if err := s.cluster.Close(); err != nil {
+			s.log.Warn("cluster close failed", "error", err.Error())
+		}
+	}
 	if err := s.ledger.Close(); err != nil {
 		s.log.Warn("ledger close failed", "error", err.Error())
 	}
@@ -482,17 +523,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleExperiments lists the registry as typed objects. The pre-v1
-// bare-id listing survives under ?format=ids (deprecated; see
-// docs/API.md deprecation policy).
+// bare-id listing under ?format=ids, deprecated since revision 4, is
+// retired as of revision 9: it now answers a typed deprecated_parameter
+// envelope (see docs/API.md deprecation policy).
 func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "":
 		writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.List()})
 	case "ids":
-		writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.IDs()})
+		writeAPIError(w, http.StatusBadRequest, codeDeprecatedParameter,
+			"format=ids was deprecated in v1 revision 4 and retired in revision 9; the default listing carries id fields")
 	default:
 		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery,
-			"unknown format %q (omit for objects, or \"ids\")", format)
+			"unknown format %q (omit the parameter for the typed listing)", format)
 	}
 }
 

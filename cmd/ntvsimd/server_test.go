@@ -116,20 +116,15 @@ func TestListExperiments(t *testing.T) {
 		t.Errorf("fig4 missing from %v", objs)
 	}
 
-	// Deprecated bare-id listing stays available under ?format=ids.
+	// The bare-id listing under ?format=ids — deprecated since revision
+	// 4 — is retired: it now answers the typed deprecated_parameter
+	// envelope instead of data.
 	code, out = doJSON(t, http.MethodGet, ts.URL+"/v1/experiments?format=ids", nil)
-	if code != http.StatusOK {
-		t.Fatalf("format=ids: status %d", code)
+	if code != http.StatusBadRequest {
+		t.Fatalf("format=ids: status %d, want 400 (parameter retired)", code)
 	}
-	ids, _ := out["experiments"].([]any)
-	found = false
-	for _, id := range ids {
-		if id == "fig4" {
-			found = true
-		}
-	}
-	if !found {
-		t.Errorf("fig4 missing from id listing %v", ids)
+	if got := errCode(out); got != "deprecated_parameter" {
+		t.Errorf("format=ids error code %q, want deprecated_parameter", got)
 	}
 }
 

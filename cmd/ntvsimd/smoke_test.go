@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -12,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"github.com/ntvsim/ntvsim/internal/sweep"
 )
 
 // TestHTTPSmoke builds the real ntvsimd binary, boots it on a free
@@ -308,4 +312,204 @@ func TestHTTPSmokeRestart(t *testing.T) {
 	if rec["trace"] == nil {
 		t.Error("replayed run record lost its trace")
 	}
+}
+
+// TestHTTPSmokeCluster is the cluster-mode smoke test: a real
+// coordinator binary plus real worker binaries on localhost run a
+// 20-shard sweep while one worker is SIGKILLed mid-run and then the
+// coordinator itself is SIGKILLed and rebooted from its shard journal.
+// The merged result must be byte-identical to sweep.RunSerial of the
+// same spec. Gated behind NTVSIMD_SMOKE=1 like the other smoke tests.
+func TestHTTPSmokeCluster(t *testing.T) {
+	if os.Getenv("NTVSIMD_SMOKE") != "1" {
+		t.Skip("set NTVSIMD_SMOKE=1 to run the binary smoke test")
+	}
+
+	spec := sweep.Spec{
+		Metric:  "chain3sigma",
+		Nodes:   []string{"90nm GP", "22nm PTM HP"},
+		Vdd:     &sweep.VddAxis{From: 0.50, To: 0.70, Step: 0.05},
+		Samples: []int{3000, 5000},
+		Seed:    90210,
+	}
+	serial, err := sweep.RunSerial(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := t.TempDir()
+	bin := filepath.Join(work, "ntvsimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(work, "data")
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	bootCoordinator := func() *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin, "-role", "coordinator", "-addr", addr,
+			"-data-dir", dataDir, "-lease-ttl", "2s", "-workers", "2", "-log-level", "warn")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd
+				}
+			}
+			if time.Now().After(deadline) {
+				_ = cmd.Process.Kill()
+				t.Fatalf("coordinator never became healthy: %v", err)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	bootWorker := func(id string) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin, "-role", "worker", "-coordinator", base,
+			"-worker-id", id, "-lease-batch", "1", "-log-level", "warn")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	sigkill := func(cmd *exec.Cmd) {
+		t.Helper()
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+	getSweep := func(id string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			return nil // coordinator may be mid-restart
+		}
+		defer resp.Body.Close()
+		out := map[string]any{}
+		if json.NewDecoder(resp.Body).Decode(&out) != nil {
+			return nil
+		}
+		return out
+	}
+	completedOf := func(out map[string]any) int {
+		n, _ := out["completed"].(float64)
+		return int(n)
+	}
+
+	co := bootCoordinator()
+	coordinatorAlive := true
+	defer func() {
+		if coordinatorAlive {
+			sigkill(co)
+		}
+	}()
+
+	// Submit the sweep before any worker exists: cluster mode has no
+	// local fallback, so nothing may progress yet.
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST sweep: status %d err %v (%v)", resp.StatusCode, err, out)
+	}
+	id, _ := out["id"].(string)
+	time.Sleep(300 * time.Millisecond)
+	if got := completedOf(getSweep(id)); got != 0 {
+		t.Fatalf("%d shards completed with no workers attached", got)
+	}
+
+	// Victim worker: SIGKILLed once it has uploaded at least one result.
+	victim := bootWorker("smoke-victim")
+	deadline := time.Now().Add(2 * time.Minute)
+	for completedOf(getSweep(id)) < 1 {
+		if time.Now().After(deadline) {
+			sigkill(victim)
+			t.Fatal("victim worker never completed a shard")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sigkill(victim) // no goodbye: its outstanding lease must expire and be stolen
+
+	// A second worker picks up; once it has made progress, SIGKILL the
+	// coordinator mid-sweep and reboot it from the journal. The worker
+	// rides out the outage and reconnects.
+	w2 := bootWorker("smoke-w2")
+	defer sigkill(w2)
+	for completedOf(getSweep(id)) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep made no progress under the second worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sigkill(co)
+	coordinatorAlive = false
+	co = bootCoordinator()
+	coordinatorAlive = true
+
+	// The rebooted coordinator replayed the sweep; the surviving worker
+	// finishes it (stolen shards included, after the 2s lease TTL).
+	for {
+		out = getSweep(id)
+		if state, _ := out["state"].(string); state == "done" {
+			break
+		} else if state == "failed" || state == "cancelled" {
+			t.Fatalf("sweep finished as %s: %v", state, out["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished after the coordinator restart: %v", out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	res, _ := out["result"].(map[string]any)
+	if res == nil {
+		t.Fatal("done sweep has no result payload")
+	}
+	if render, _ := res["render"].(string); render != serial.Render() {
+		t.Fatal("cluster smoke merge is not byte-identical to sweep.RunSerial")
+	}
+	shards, _ := out["shards"].([]any)
+	if len(shards) != 20 {
+		t.Fatalf("sweep lists %d shards, want 20", len(shards))
+	}
+	restored := 0
+	for _, item := range shards {
+		sh, _ := item.(map[string]any)
+		w, _ := sh["worker"].(string)
+		if w != "smoke-victim" && w != "smoke-w2" {
+			t.Errorf("shard %v attributed to %q", sh["index"], w)
+		}
+		if r, _ := sh["restored"].(bool); r {
+			restored++
+		}
+	}
+	if restored == 0 {
+		t.Error("no shard restored from the journal after the coordinator restart")
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	fmt.Printf("cluster smoke: 20 shards, %d journal-restored, merge byte-identical\n", restored)
 }

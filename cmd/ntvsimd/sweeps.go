@@ -121,8 +121,28 @@ func (s *server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidBody, "invalid JSON body: %v", err)
 		return
 	}
-	sw, err := s.sweeps.SubmitCtx(s.base, spec)
-	if err != nil {
+	var sw *sweep.Sweep
+	var err error
+	if s.cluster != nil {
+		// Coordinator path: validate first (Normalized is idempotent, so
+		// re-normalizing inside Submit is harmless), then journal the
+		// sweep intent before shards fan out to workers. A Submit error
+		// past validation is a journal write failure — the intent is not
+		// durable, so the sweep must not run.
+		if _, verr := spec.Normalized(); verr != nil {
+			code := codeInvalidSweep
+			if errors.Is(verr, sweep.ErrModeUnsupported) {
+				code = codeModeUnsupported
+			}
+			writeAPIError(w, http.StatusBadRequest, code, verr.Error())
+			return
+		}
+		if sw, err = s.cluster.Submit(s.base, s.sweeps, spec); err != nil {
+			s.log.Warn("cluster sweep submit failed", "error", err.Error())
+			writeAPIError(w, http.StatusInternalServerError, codeInternal, err.Error())
+			return
+		}
+	} else if sw, err = s.sweeps.SubmitCtx(s.base, spec); err != nil {
 		code := codeInvalidSweep
 		if errors.Is(err, sweep.ErrModeUnsupported) {
 			// The importance-sampling kernels have no analytic law; give
@@ -247,9 +267,28 @@ type kernelPayload struct {
 	Modes          []string `json:"modes"`
 }
 
+// kernelListPayload is the typed GET /v1/kernels response, carrying the
+// same limit/offset/total pagination envelope as the other listings.
+type kernelListPayload struct {
+	Kernels []kernelPayload `json:"kernels"`
+	Total   int             `json:"total"`
+	Limit   int             `json:"limit"`
+	Offset  int             `json:"offset"`
+}
+
 // handleKernels lists the sweep metric registry as typed objects, the
-// kernel-side counterpart of GET /v1/experiments.
+// kernel-side counterpart of GET /v1/experiments. Registry order is the
+// stable pagination order.
 func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	if st := r.URL.Query().Get("state"); st != "" {
+		writeAPIErrorf(w, http.StatusBadRequest, codeInvalidQuery,
+			"kernels are not stateful; state %q is not a valid filter here", st)
+		return
+	}
+	q, ok := parseListQuery(w, r)
+	if !ok {
+		return
+	}
 	ks := sweep.Kernels()
 	out := make([]kernelPayload, 0, len(ks))
 	for _, k := range ks {
@@ -267,5 +306,9 @@ func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, p)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+	total := len(out)
+	out = page(out, q)
+	writeJSON(w, http.StatusOK, kernelListPayload{
+		Kernels: out, Total: total, Limit: q.limit, Offset: q.offset,
+	})
 }

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/resultcache"
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+// tinySpec is the same 2 nodes × 3 voltages × 1 samples = 6-shard sweep
+// the engine's own suite uses, small enough for fast cluster tests.
+func tinySpec() sweep.Spec {
+	return sweep.Spec{
+		Metric:  "chain3sigma",
+		Nodes:   []string{"90nm GP", "22nm PTM HP"},
+		Vdd:     &sweep.VddAxis{From: 0.50, To: 0.60, Step: 0.05},
+		Samples: []int{200},
+		Seed:    4242,
+	}
+}
+
+// newEngine builds a sweep engine with its own jobs pool and a fresh
+// (empty) result cache — fresh so restart tests prove results come from
+// the journal, not from a shared cache.
+func newEngine(t *testing.T) *sweep.Engine {
+	t.Helper()
+	m := jobs.NewManager(2, 32)
+	t.Cleanup(m.Close)
+	return sweep.NewEngine(m, resultcache.New[experiments.Result](64), nil)
+}
+
+func newCoordinator(t *testing.T, dir string, ttl time.Duration) *Coordinator {
+	t.Helper()
+	c, err := New(Config{DataDir: dir, LeaseTTL: ttl, Reap: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// leaseN polls Lease until the worker holds n grants — the engine's
+// dispatcher offers shards asynchronously, so the queue fills shortly
+// after Submit rather than during it.
+func leaseN(t *testing.T, c *Coordinator, worker string, n int) []Grant {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var grants []Grant
+	for len(grants) < n {
+		grants = append(grants, c.Lease(worker, n-len(grants))...)
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s holds %d leases after 10s, want %d", worker, len(grants), n)
+		}
+		if len(grants) < n {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return grants
+}
+
+func waitDone(t *testing.T, sw *sweep.Sweep, timeout time.Duration) sweep.Snapshot {
+	t.Helper()
+	select {
+	case <-sw.Done():
+	case <-time.After(timeout):
+		t.Fatalf("sweep %s not terminal after %v: %+v", sw.ID, timeout, sw.Snapshot())
+	}
+	return sw.Snapshot()
+}
+
+// renderAll serializes a merged result every way the service emits it,
+// so byte-identity checks cover the full artifact surface.
+func renderAll(t *testing.T, r *sweep.Result) string {
+	t.Helper()
+	js, err := json.Marshal(r.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	for _, row := range r.CSV() {
+		csv.WriteString(strings.Join(row, ","))
+		csv.WriteByte('\n')
+	}
+	return r.Render() + "\n" + csv.String() + "\n" + string(js)
+}
+
+// faultSeed is the chaos-matrix seed (CI varies NTVSIM_FAULT_SEED).
+func faultSeed(t *testing.T) uint64 {
+	t.Helper()
+	s := os.Getenv("NTVSIM_FAULT_SEED")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("NTVSIM_FAULT_SEED=%q: %v", s, err)
+	}
+	return n
+}
+
+// serve exposes a coordinator's handlers the way cmd/ntvsimd mounts
+// them, on an ephemeral listener.
+func serve(t *testing.T, c *Coordinator) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/lease", c.HandleLease)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.HandleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/complete", c.HandleComplete)
+	mux.HandleFunc("GET /v1/cluster", c.HandleStatus)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestLeaseExpiryStealCycle drives the full lease lifecycle through the
+// coordinator API: grant, heartbeat-renew, expire via the reaper,
+// re-grant to a second worker (a steal), reject the first worker's
+// stale lease — and still merge byte-identical to the serial run.
+func TestLeaseExpiryStealCycle(t *testing.T) {
+	serial, err := sweep.RunSerial(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, serial)
+
+	// An hour-long TTL: nothing expires except when the test reaps.
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grants := leaseN(t, c, "w1", 6)
+	ids := make([]string, len(grants))
+	for i, g := range grants {
+		ids[i] = g.LeaseID
+		if g.TTLMillis != time.Hour.Milliseconds() {
+			t.Fatalf("grant ttl %dms, want %dms", g.TTLMillis, time.Hour.Milliseconds())
+		}
+		if g.Point.Seed == 0 {
+			t.Fatalf("grant %d ships no derived seed: %+v", i, g.Point)
+		}
+	}
+	if st := c.Status(); st.Queued != 0 || st.Leased != 6 {
+		t.Fatalf("after full lease: queued=%d leased=%d, want 0/6", st.Queued, st.Leased)
+	}
+
+	// Heartbeats renew live leases.
+	renewed, lost := c.Heartbeat("w1", ids)
+	if len(renewed) != 6 || len(lost) != 0 {
+		t.Fatalf("heartbeat renewed %d lost %d, want 6/0", len(renewed), len(lost))
+	}
+	// A reap inside the TTL reclaims nothing.
+	c.reap(time.Now())
+	if st := c.Status(); st.Leased != 6 {
+		t.Fatalf("in-TTL reap reclaimed leases: %+v", st)
+	}
+
+	// w1 goes silent; the TTL elapses; everything is reclaimed.
+	c.reap(time.Now().Add(2 * time.Hour))
+	if st := c.Status(); st.Queued != 6 || st.Leased != 0 {
+		t.Fatalf("after expiry: queued=%d leased=%d, want 6/0", st.Queued, st.Leased)
+	}
+
+	// w2 steals the whole sweep; w1's leases are dead.
+	grants2 := leaseN(t, c, "w2", 6)
+	if _, lost := c.Heartbeat("w1", ids); len(lost) != 6 {
+		t.Fatalf("stale heartbeat lost %d leases, want 6", len(lost))
+	}
+	if err := c.Complete("w1", ids[0], &sweep.ShardResult{}, "", 0); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("stale complete: err=%v, want ErrLeaseNotFound", err)
+	}
+
+	// w2 evaluates and uploads everything; the sweep lands byte-identical.
+	for _, g := range grants2 {
+		sr, retries, err := sweep.EvalShard(context.Background(), g.Spec, g.Point)
+		if err != nil {
+			t.Fatalf("shard %d: %v", g.Index, err)
+		}
+		if err := c.Complete("w2", g.LeaseID, sr, "", retries); err != nil {
+			t.Fatalf("complete shard %d: %v", g.Index, err)
+		}
+	}
+	snap := waitDone(t, sw, 30*time.Second)
+	if snap.State != sweep.Done {
+		t.Fatalf("sweep ended %s (%s), want done", snap.State, snap.Error)
+	}
+	for _, sh := range snap.Shards {
+		if sh.Worker != "w2" {
+			t.Fatalf("shard %d attributed to %q, want w2 (the stealing worker)", sh.Index, sh.Worker)
+		}
+	}
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("stolen-and-completed sweep is not byte-identical to the serial run")
+	}
+}
+
+// TestCompleteFailureCountsAgainstBudget: a worker-reported permanent
+// error fails the shard and, with a zero budget, the sweep.
+func TestCompleteFailureCountsAgainstBudget(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := leaseN(t, c, "w1", 1)[0]
+	if err := c.Complete("w1", g.LeaseID, nil, "node model diverged", 3); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 30*time.Second)
+	if snap.State != sweep.Failed {
+		t.Fatalf("sweep ended %s, want failed", snap.State)
+	}
+	if !strings.Contains(snap.Error, "node model diverged") {
+		t.Fatalf("snapshot error %q does not carry the worker's failure", snap.Error)
+	}
+	if snap.Retried < 3 {
+		t.Fatalf("worker-side retries not folded in: %d, want >= 3", snap.Retried)
+	}
+	// The permanent failure is not journaled: a replayed sweep re-runs it.
+	for _, e := range c.journal.Entries() {
+		if e.Type == EntryShard {
+			t.Fatalf("failed shard was journaled: %+v", e)
+		}
+	}
+}
+
+// TestCancelledSweepDrainsQueue: cancelling a sweep finalizes its
+// queued and leased shards instead of leaving workers computing for a
+// dead sweep.
+func TestCancelledSweepDrainsQueue(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := leaseN(t, c, "w1", 1)[0]
+	if !sw.Cancel() {
+		t.Fatal("cancel refused")
+	}
+	snap := waitDone(t, sw, 30*time.Second)
+	if snap.State != sweep.Cancelled {
+		t.Fatalf("sweep ended %s, want cancelled", snap.State)
+	}
+	// The leased shard's sweep is gone; its completion is rejected once
+	// the lease expires, and the queue never hands the dead shards out.
+	c.reap(time.Now().Add(2 * time.Hour))
+	if got := c.Lease("w2", 6); len(got) != 0 {
+		t.Fatalf("dead sweep leased %d shards to w2", len(got))
+	}
+	if err := c.Complete("w1", g.LeaseID, &sweep.ShardResult{}, "", 0); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("post-cancel complete: err=%v, want ErrLeaseNotFound", err)
+	}
+}
+
+// TestHandlerGoldenEnvelopes pins the exact bytes of the typed
+// /v1/cluster/* error envelopes — they are part of the stable v1
+// surface (docs/API.md) and must never drift.
+func TestHandlerGoldenEnvelopes(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	post := func(path, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		switch path {
+		case "/v1/cluster/lease":
+			c.HandleLease(rec, req)
+		case "/v1/cluster/heartbeat":
+			c.HandleHeartbeat(rec, req)
+		case "/v1/cluster/complete":
+			c.HandleComplete(rec, req)
+		}
+		return rec
+	}
+
+	cases := []struct {
+		name, path, body string
+		status           int
+		golden           string
+	}{
+		{
+			name: "protocol_unsupported", path: "/v1/cluster/lease",
+			body:   `{"worker_id":"w1","protocol_version":99}`,
+			status: http.StatusBadRequest,
+			golden: "{\n  \"error\": {\n    \"code\": \"protocol_unsupported\",\n    \"message\": \"worker speaks protocol version 99; this coordinator speaks 1\"\n  }\n}\n",
+		},
+		{
+			name: "missing_worker_id", path: "/v1/cluster/lease",
+			body:   `{"protocol_version":1}`,
+			status: http.StatusBadRequest,
+			golden: "{\n  \"error\": {\n    \"code\": \"invalid_body\",\n    \"message\": \"missing \\\"worker_id\\\" field\"\n  }\n}\n",
+		},
+		{
+			name: "lease_not_found", path: "/v1/cluster/complete",
+			body:   `{"worker_id":"w1","lease_id":"ls00000000-1","error":"x"}`,
+			status: http.StatusConflict,
+			golden: "{\n  \"error\": {\n    \"code\": \"lease_not_found\",\n    \"message\": \"lease expired or was never granted; the shard has been re-queued for another worker\"\n  }\n}\n",
+		},
+		{
+			name: "empty_completion", path: "/v1/cluster/complete",
+			body:   `{"worker_id":"w1","lease_id":"ls00000000-1"}`,
+			status: http.StatusBadRequest,
+			golden: "{\n  \"error\": {\n    \"code\": \"invalid_body\",\n    \"message\": \"completion carries neither \\\"result\\\" nor \\\"error\\\"\"\n  }\n}\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(tc.path, tc.body)
+			if rec.Code != tc.status {
+				t.Fatalf("status %d, want %d", rec.Code, tc.status)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content-type %q", ct)
+			}
+			if got := rec.Body.String(); got != tc.golden {
+				t.Fatalf("envelope drifted:\n got: %q\nwant: %q", got, tc.golden)
+			}
+		})
+	}
+
+	// Malformed JSON yields invalid_body (message embeds the decoder
+	// error, so only the code is pinned).
+	rec := post("/v1/cluster/lease", "{")
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), `"invalid_body"`) {
+		t.Fatalf("malformed body: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatusEndpoint sanity-checks GET /v1/cluster.
+func TestStatusEndpoint(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	srv := serve(t, c)
+	resp, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ProtocolVersion != ProtocolVersion {
+		t.Fatalf("status protocol %d, want %d", st.ProtocolVersion, ProtocolVersion)
+	}
+	if st.LeaseTTLMillis != time.Hour.Milliseconds() {
+		t.Fatalf("status ttl %dms", st.LeaseTTLMillis)
+	}
+}
+
+// TestLeaseEmptyQueueShape: an idle coordinator returns an empty (not
+// null) lease list.
+func TestLeaseEmptyQueueShape(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/cluster/lease",
+		strings.NewReader(`{"worker_id":"w1","protocol_version":1,"max_shards":4}`))
+	c.HandleLease(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Body.String(); got != "{\n  \"leases\": []\n}\n" {
+		t.Fatalf("empty lease body %q", got)
+	}
+}

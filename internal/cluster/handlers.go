@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HandleLease serves POST /v1/cluster/lease: validate the worker's
+// identity and protocol version, then grant up to max_shards queued
+// shards.
+func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		WriteError(w, http.StatusBadRequest, CodeInvalidBody, "missing \"worker_id\" field")
+		return
+	}
+	if req.ProtocolVersion != ProtocolVersion {
+		WriteError(w, http.StatusBadRequest, CodeProtocolUnsupported,
+			fmt.Sprintf("worker speaks protocol version %d; this coordinator speaks %d",
+				req.ProtocolVersion, ProtocolVersion))
+		return
+	}
+	grants := c.Lease(req.WorkerID, req.MaxShards)
+	if grants == nil {
+		grants = []Grant{}
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{Leases: grants})
+}
+
+// HandleHeartbeat serves POST /v1/cluster/heartbeat: renew the named
+// leases, reporting lost ones so the worker abandons stolen shards.
+func (c *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		WriteError(w, http.StatusBadRequest, CodeInvalidBody, "missing \"worker_id\" field")
+		return
+	}
+	renewed, lost := c.Heartbeat(req.WorkerID, req.LeaseIDs)
+	if renewed == nil {
+		renewed = []string{}
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Renewed: renewed, Lost: lost})
+}
+
+// HandleComplete serves POST /v1/cluster/complete: journal and accept
+// one shard outcome. A lease the coordinator no longer holds yields
+// the typed lease_not_found envelope with 409 — the worker drops the
+// result, the shard belongs to another worker now.
+func (c *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		WriteError(w, http.StatusBadRequest, CodeInvalidBody, "missing \"worker_id\" field")
+		return
+	}
+	if req.LeaseID == "" {
+		WriteError(w, http.StatusBadRequest, CodeInvalidBody, "missing \"lease_id\" field")
+		return
+	}
+	if req.Result == nil && req.Error == "" {
+		WriteError(w, http.StatusBadRequest, CodeInvalidBody, "completion carries neither \"result\" nor \"error\"")
+		return
+	}
+	switch err := c.Complete(req.WorkerID, req.LeaseID, req.Result, req.Error, req.Retries); {
+	case errors.Is(err, ErrLeaseNotFound):
+		WriteError(w, http.StatusConflict, CodeLeaseNotFound,
+			"lease expired or was never granted; the shard has been re-queued for another worker")
+	case err != nil:
+		WriteError(w, http.StatusInternalServerError, "internal",
+			"journal append failed: "+err.Error())
+	default:
+		writeJSON(w, http.StatusOK, CompleteResponse{OK: true})
+	}
+}
+
+// HandleStatus serves GET /v1/cluster: the coordinator's live
+// queue/lease/worker snapshot.
+func (c *Coordinator) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// decodeBody decodes a bounded JSON request body into v, writing the
+// typed invalid_body envelope (and returning false) on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		WriteError(w, http.StatusBadRequest, CodeInvalidBody, fmt.Sprintf("invalid JSON body: %v", err))
+		return false
+	}
+	return true
+}

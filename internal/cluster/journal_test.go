@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+func openJournal(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// TestJournalRoundTrip pins the WAL property: entries appended (and
+// acknowledged) before a close are all present, in order, after a
+// reopen.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	spec := sweep.Spec{Metric: "chain3sigma"}
+	entries := []Entry{
+		{Type: EntrySweep, SweepID: "sw1", Spec: &spec},
+		{Type: EntryShard, SweepID: "sw1", Index: 3, Worker: "w1",
+			Result: &sweep.ShardResult{Kernel: "chain3sigma", Value: 1.25}},
+		{Type: EntrySweepDone, SweepID: "sw1", State: "done"},
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, dir)
+	got := j2.Entries()
+	if len(got) != len(entries) {
+		t.Fatalf("reopened journal has %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range got {
+		if e.Schema != Schema {
+			t.Errorf("entry %d schema %q, want %q", i, e.Schema, Schema)
+		}
+		if e.Type != entries[i].Type || e.SweepID != entries[i].SweepID {
+			t.Errorf("entry %d is %s/%s, want %s/%s", i, e.Type, e.SweepID, entries[i].Type, entries[i].SweepID)
+		}
+		if e.At.IsZero() {
+			t.Errorf("entry %d has no timestamp", i)
+		}
+	}
+	if got[1].Result == nil || got[1].Result.Value != 1.25 || got[1].Worker != "w1" {
+		t.Fatalf("shard entry did not round-trip: %+v", got[1])
+	}
+}
+
+// TestJournalTornTail pins crash tolerance: a partial final line — the
+// signature of dying mid-write — is truncated away on reopen, and the
+// journal then appends cleanly on the restored line boundary.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	if err := j.Append(Entry{Type: EntrySweepDone, SweepID: "sw1", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"ntvsim.cluster/v1","type":"shard","swee`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openJournal(t, dir)
+	if j2.Len() != 1 {
+		t.Fatalf("torn-tail journal replayed %d entries, want 1", j2.Len())
+	}
+	if err := j2.Append(Entry{Type: EntrySweepDone, SweepID: "sw2", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3 := openJournal(t, dir)
+	if j3.Len() != 2 || j3.Entries()[1].SweepID != "sw2" {
+		t.Fatalf("post-truncation append did not survive reopen: %+v", j3.Entries())
+	}
+}
+
+// TestJournalGarbageTailTolerated covers the other torn-write shape: a
+// complete-looking line of garbage at the very end is dropped, not
+// fatal.
+func TestJournalGarbageTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	if err := j.Append(Entry{Type: EntrySweepDone, SweepID: "sw1", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, FileName)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("\x00\x01garbage\n")
+	f.Close()
+
+	j2 := openJournal(t, dir)
+	if j2.Len() != 1 {
+		t.Fatalf("garbage-tail journal replayed %d entries, want 1", j2.Len())
+	}
+}
+
+// TestJournalInteriorCorruptionFatal pins the other half of the
+// discipline: corruption that is NOT the tail means records after it
+// would be silently lost, so replay must refuse.
+func TestJournalInteriorCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	j.Append(Entry{Type: EntrySweepDone, SweepID: "sw1", State: "done"})
+	j.Append(Entry{Type: EntrySweepDone, SweepID: "sw2", State: "done"})
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	mangled := lines[0][:len(lines[0])-10] + "%%%%%%%%%\n" + lines[1]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenJournal(dir); err == nil || !strings.Contains(err.Error(), "corrupt entry") {
+		t.Fatalf("interior corruption not fatal: err=%v", err)
+	}
+}
+
+// TestJournalAppendAfterClose pins the closed-journal contract.
+func TestJournalAppendAfterClose(t *testing.T) {
+	j := openJournal(t, t.TempDir())
+	j.Close()
+	if err := j.Append(Entry{Type: EntrySweepDone, SweepID: "sw1"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/telemetry"
+)
+
+// Cluster metrics, exposed on GET /metrics (docs/OBSERVABILITY.md).
+var (
+	mLeases = telemetry.Default.Counter("ntvsim_cluster_leases_total",
+		"Shard leases granted to workers, re-grants after expiry included.")
+	mExpiries = telemetry.Default.Counter("ntvsim_cluster_lease_expiries_total",
+		"Leases reclaimed after their TTL elapsed without heartbeat or completion.")
+	mSteals = telemetry.Default.Counter("ntvsim_cluster_steals_total",
+		"Shards re-leased after a prior lease expired — work stolen from a dead or stalled worker.")
+	mCompleted = telemetry.Default.Counter("ntvsim_cluster_shards_completed_total",
+		"Shard results accepted from workers and journaled.")
+	mShardsFailed = telemetry.Default.Counter("ntvsim_cluster_shards_failed_total",
+		"Permanent shard failures reported by workers.")
+	mWorkerEvals = telemetry.Default.Counter("ntvsim_cluster_worker_evals_total",
+		"Shards this process's worker loop evaluated and uploaded.")
+)
+
+// activeCoordinator points at the most recently constructed
+// Coordinator. Prometheus names are a single process-global namespace,
+// so the per-coordinator gauges below read live state through this
+// pointer — rebuilding the coordinator (tests do) transparently
+// repoints them, the same pattern cmd/ntvsimd uses for its server
+// gauges.
+var activeCoordinator atomic.Pointer[Coordinator]
+
+func init() {
+	gauge := func(name, help string, fn func(c *Coordinator) float64) {
+		telemetry.Default.GaugeFunc(name, help, func() float64 {
+			if c := activeCoordinator.Load(); c != nil {
+				return fn(c)
+			}
+			return 0
+		})
+	}
+	gauge("ntvsim_cluster_workers", "Workers seen by the active coordinator within the last five lease TTLs.",
+		func(c *Coordinator) float64 { return float64(c.workerCount(time.Now())) })
+	gauge("ntvsim_cluster_queue_depth", "Shards awaiting a lease on the active coordinator.",
+		func(c *Coordinator) float64 { q, _ := c.depth(); return float64(q) })
+	gauge("ntvsim_cluster_leases_active", "Shards under a live lease on the active coordinator.",
+		func(c *Coordinator) float64 { _, l := c.depth(); return float64(l) })
+}

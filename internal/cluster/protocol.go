@@ -1,0 +1,149 @@
+// Package cluster is the coordinator/worker fabric of distributed
+// sweep execution (docs/CLUSTER.md). A coordinator owns sweep specs and
+// their grids, persists an append-only shard journal under the data
+// directory (write-ahead: a result is fsynced before it is
+// acknowledged, and the journal is replayed on boot so a restart loses
+// nothing), and serves the typed worker protocol under /v1/cluster/*:
+// lease (batch shard claims), heartbeat (lease renewal) and complete
+// (result upload). Leases that miss their heartbeats expire and are
+// re-queued — work-stealing — so a killed worker costs latency, never
+// results. Workers are thin pullers: lease → sweep.EvalShard → upload.
+//
+// The determinism contract carries over unchanged from the in-process
+// engine: every shard's seed is derived by the coordinator and shipped
+// inside the lease, workers evaluate exactly what they are given, and
+// results merge by grid index — so a sweep fanned out over N workers,
+// with kills and lease expiries along the way, merges byte-identical
+// to sweep.RunSerial.
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+// ProtocolVersion is the worker protocol revision. A worker states its
+// version in every lease request; a coordinator speaking a different
+// revision rejects it with protocol_unsupported, so mixed-version
+// fleets fail loudly at lease time instead of corrupting results.
+const ProtocolVersion = 1
+
+// Error codes returned under /v1/cluster/*. They are part of the
+// stable snake_case v1 catalogue (docs/API.md); cmd/ntvsimd reuses
+// them verbatim so in-package handler tests and the public surface pin
+// the same bytes.
+const (
+	// CodeInvalidBody is the shared v1 code for a malformed request
+	// body or a missing required field.
+	CodeInvalidBody = "invalid_body"
+	// CodeClusterDisabled marks a /v1/cluster/* call on a daemon not
+	// running as a coordinator.
+	CodeClusterDisabled = "cluster_disabled"
+	// CodeProtocolUnsupported rejects a worker speaking a different
+	// ProtocolVersion.
+	CodeProtocolUnsupported = "protocol_unsupported"
+	// CodeLeaseNotFound rejects a heartbeat or completion for a lease
+	// the coordinator no longer holds — expired and re-queued, or never
+	// granted. The worker drops the shard; another worker owns it now.
+	CodeLeaseNotFound = "lease_not_found"
+)
+
+// LeaseRequest is the POST /v1/cluster/lease body: a worker asking for
+// up to MaxShards shard claims.
+type LeaseRequest struct {
+	WorkerID        string `json:"worker_id"`
+	ProtocolVersion int    `json:"protocol_version"`
+	MaxShards       int    `json:"max_shards,omitempty"` // 0 means 1
+}
+
+// Grant is one leased shard: everything a worker needs to evaluate it
+// — the normalized spec and the grid point with its derived seed — plus
+// the lease identity and TTL governing heartbeats.
+type Grant struct {
+	LeaseID   string      `json:"lease_id"`
+	SweepID   string      `json:"sweep_id"`
+	Index     int         `json:"index"`
+	Spec      sweep.Spec  `json:"spec"`
+	Point     sweep.Point `json:"point"`
+	TTLMillis int64       `json:"ttl_ms"`
+}
+
+// LeaseResponse is the POST /v1/cluster/lease response. Leases is
+// empty (never null) when no work is queued; the worker polls again
+// with backoff.
+type LeaseResponse struct {
+	Leases []Grant `json:"leases"`
+}
+
+// HeartbeatRequest renews the named leases for another TTL.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	LeaseIDs []string `json:"lease_ids"`
+}
+
+// HeartbeatResponse reports which leases were renewed and which are
+// lost (expired and possibly re-leased elsewhere — the worker should
+// abandon those shards).
+type HeartbeatResponse struct {
+	Renewed []string `json:"renewed"`
+	Lost    []string `json:"lost,omitempty"`
+}
+
+// CompleteRequest is the POST /v1/cluster/complete body: one shard's
+// outcome. Result carries a successful evaluation; Error reports a
+// permanent failure (it counts against the sweep's failure budget).
+// Retries is how many transient in-place retries the worker absorbed,
+// folded into the sweep's retry provenance.
+type CompleteRequest struct {
+	WorkerID string             `json:"worker_id"`
+	LeaseID  string             `json:"lease_id"`
+	Result   *sweep.ShardResult `json:"result,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Retries  int                `json:"retries,omitempty"`
+}
+
+// CompleteResponse acknowledges a durably journaled completion.
+type CompleteResponse struct {
+	OK bool `json:"ok"`
+}
+
+// Status is the GET /v1/cluster coordinator snapshot.
+type Status struct {
+	ProtocolVersion int   `json:"protocol_version"`
+	Queued          int   `json:"queued"`  // shards awaiting a lease
+	Leased          int   `json:"leased"`  // shards under a live lease
+	Workers         int   `json:"workers"` // workers seen recently
+	LeaseTTLMillis  int64 `json:"lease_ttl_ms"`
+	JournalEntries  int   `json:"journal_entries"`
+}
+
+// errorPayload mirrors cmd/ntvsimd's typed error envelope
+// ({"error":{code,message}}) byte-for-byte so cluster endpoints speak
+// the same contract whether tested in-package or through the daemon.
+type errorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorPayload `json:"error"`
+}
+
+// writeJSON writes v with the daemon's response encoding (two-space
+// indented JSON).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// WriteError writes the typed v1 error envelope; exported so
+// cmd/ntvsimd serves byte-identical envelopes for cluster codes it
+// raises itself (cluster_disabled).
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Error: errorPayload{Code: code, Message: message}})
+}

@@ -1,0 +1,194 @@
+package cluster
+
+// Coverage of the coordinator's smaller surfaces: the heartbeat
+// endpoint, the metrics gauges, the closed-coordinator paths and the
+// worker's heartbeat probe — each pinned here so the big end-to-end
+// suites stay focused on the determinism contract.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/sweep"
+	"github.com/ntvsim/ntvsim/internal/telemetry"
+)
+
+// TestHeartbeatEndpoint drives POST /v1/cluster/heartbeat over HTTP:
+// live leases renew, unknown ones report lost, a missing worker_id is
+// the typed invalid_body envelope, and an idle heartbeat keeps the
+// empty-not-null list shape.
+func TestHeartbeatEndpoint(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	if c.LeaseTTL() != time.Hour {
+		t.Fatalf("LeaseTTL %v, want 1h", c.LeaseTTL())
+	}
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Cancel()
+	grants := leaseN(t, c, "w1", 2)
+	srv := serve(t, c)
+
+	post := func(body string) (int, HeartbeatResponse, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/cluster/heartbeat", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var hb HeartbeatResponse
+		_ = json.Unmarshal(raw, &hb)
+		return resp.StatusCode, hb, string(raw)
+	}
+
+	body, _ := json.Marshal(HeartbeatRequest{
+		WorkerID: "w1",
+		LeaseIDs: []string{grants[0].LeaseID, grants[1].LeaseID, "ls00000000-404"},
+	})
+	status, hb, _ := post(string(body))
+	if status != http.StatusOK || len(hb.Renewed) != 2 || len(hb.Lost) != 1 {
+		t.Fatalf("heartbeat: status %d renewed %v lost %v, want 200/2/1", status, hb.Renewed, hb.Lost)
+	}
+	if hb.Lost[0] != "ls00000000-404" {
+		t.Fatalf("lost lease %q, want the unknown id", hb.Lost[0])
+	}
+
+	if status, _, raw := post(`{"lease_ids":["x"]}`); status != http.StatusBadRequest || !strings.Contains(raw, `"invalid_body"`) {
+		t.Fatalf("missing worker_id: status %d body %s", status, raw)
+	}
+	if status, _, raw := post(`{"worker_id":"idle"}`); status != http.StatusOK || !strings.Contains(raw, `"renewed": []`) {
+		t.Fatalf("idle heartbeat: status %d body %s", status, raw)
+	}
+}
+
+// TestMetricsGauges: the process-global cluster gauges read live state
+// through the active coordinator — queue depth, active leases and the
+// recently-seen worker count all land on the Prometheus surface.
+func TestMetricsGauges(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Cancel()
+	leaseN(t, c, "w1", 2)
+
+	// The dispatcher offers shards asynchronously; wait for the full
+	// 6-point grid to be accounted for (2 leased, 4 queued).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		q, l := c.depth()
+		if q == 4 && l == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("depth stuck at queued=%d leased=%d, want 4/2", q, l)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := c.workerCount(time.Now()); n != 1 {
+		t.Fatalf("workerCount %d, want 1", n)
+	}
+	if n := c.workerCount(time.Now().Add(10 * time.Hour)); n != 0 {
+		t.Fatalf("workerCount far in the future %d, want 0 (w1 aged out)", n)
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, line := range []string{
+		"ntvsim_cluster_queue_depth 4",
+		"ntvsim_cluster_leases_active 2",
+		"ntvsim_cluster_workers 1",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}
+
+// TestClosedCoordinator: Submit after Close fails on the journal
+// append (the intent cannot be made durable), and shards offered to a
+// closed coordinator finalize as failed instead of queueing forever.
+func TestClosedCoordinator(t *testing.T) {
+	c, err := New(Config{DataDir: t.TempDir(), LeaseTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(t)
+	eng.SetRemote(c)
+
+	// The validation error path precedes the journal.
+	if _, err := c.Submit(context.Background(), eng, sweep.Spec{Metric: "no-such-metric"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v, want idempotent nil", err)
+	}
+	if _, err := c.Submit(context.Background(), eng, tinySpec()); err == nil {
+		t.Fatal("Submit after Close journaled an intent on a closed journal")
+	}
+
+	// Bypass the coordinator's journal: the engine still offers shards to
+	// its remote queue, and the closed coordinator must reject them.
+	sw, err := eng.SubmitCtx(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 30*time.Second)
+	if snap.State != sweep.Failed {
+		t.Fatalf("sweep against a closed coordinator ended %s, want failed", snap.State)
+	}
+	if !strings.Contains(snap.Error, "coordinator closed") {
+		t.Fatalf("failure %q does not name the closed coordinator", snap.Error)
+	}
+}
+
+// TestWorkerHeartbeatProbe pins the worker-side lost-lease decision:
+// renewed means keep computing, lost means abandon, and a transport
+// blip is never treated as a lost lease.
+func TestWorkerHeartbeatProbe(t *testing.T) {
+	c := newCoordinator(t, t.TempDir(), time.Hour)
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Cancel()
+	g := leaseN(t, c, "hb", 1)[0]
+	srv := serve(t, c)
+
+	discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+	rt := &runtimeWorker{base: srv.URL, id: "hb", poll: fastPoll, client: srv.Client(), log: discard}
+	if rt.heartbeatLost(context.Background(), g.LeaseID) {
+		t.Fatal("live lease reported lost")
+	}
+	if !rt.heartbeatLost(context.Background(), "ls00000000-404") {
+		t.Fatal("unknown lease reported live")
+	}
+	dead := &runtimeWorker{base: "http://127.0.0.1:1", id: "hb", poll: fastPoll,
+		client: &http.Client{Timeout: time.Second}, log: discard}
+	if dead.heartbeatLost(context.Background(), g.LeaseID) {
+		t.Fatal("transport failure treated as a lost lease")
+	}
+}

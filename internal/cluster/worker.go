@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/faults"
+	"github.com/ntvsim/ntvsim/internal/jobs"
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+// Worker is the thin pull loop of cluster mode: lease a batch of
+// shards, evaluate each through sweep.EvalShard (the exact in-process
+// evaluation path — panic containment, seeded transient retries, the
+// shipped derived seed), heartbeat while evaluating, upload the
+// outcome. It holds no sweep state of its own; a worker killed
+// mid-shard costs one lease TTL of latency, never a result.
+type Worker struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// ID is the worker's stable identity for leases and attribution;
+	// empty means "<hostname>-<pid>".
+	ID string
+	// MaxShards bounds how many shards one lease call claims; 0 means 2.
+	MaxShards int
+	// Poll paces idle polls and transport retries; the zero value uses a
+	// 100ms–2s policy seeded from the worker id.
+	Poll jobs.Backoff
+	// Client is the HTTP client; nil uses a 60s-timeout client.
+	Client *http.Client
+	// Log is the structured logger; nil discards.
+	Log *slog.Logger
+}
+
+// completeAttempts bounds upload retries for one shard result before
+// the worker abandons it to lease expiry.
+const completeAttempts = 8
+
+// Run pulls and evaluates shards until ctx ends, returning ctx's
+// error. Transport failures never kill the loop — the worker backs off
+// and retries, so it rides out a coordinator restart.
+func (w *Worker) Run(ctx context.Context) error {
+	id := w.ID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := w.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	poll := w.Poll
+	if poll.Base <= 0 {
+		poll = jobs.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: idSeq(id)}
+	}
+	log := w.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	rt := &runtimeWorker{
+		base: w.Coordinator, id: id, max: w.MaxShards,
+		poll: poll, seq: idSeq(id), client: client, log: log,
+	}
+	if rt.max <= 0 {
+		rt.max = 2
+	}
+	log.Info("worker starting", "coordinator", rt.base, "worker_id", id, "max_shards", rt.max)
+
+	idle := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		grants, err := rt.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			idle++
+			log.Warn("lease failed; backing off", "error", err.Error())
+			if serr := rt.poll.Sleep(ctx, rt.seq, idle); serr != nil {
+				return serr
+			}
+			continue
+		}
+		if len(grants) == 0 {
+			idle++
+			if serr := rt.poll.Sleep(ctx, rt.seq, idle); serr != nil {
+				return serr
+			}
+			continue
+		}
+		idle = 0
+		for _, g := range grants {
+			rt.runShard(ctx, g)
+		}
+	}
+}
+
+// runtimeWorker is a Worker's per-Run state with defaults resolved.
+type runtimeWorker struct {
+	base   string
+	id     string
+	max    int
+	poll   jobs.Backoff
+	seq    uint64
+	client *http.Client
+	log    *slog.Logger
+}
+
+// idSeq hashes the worker id into the backoff jitter stream, so a
+// fleet of workers never thunders in lockstep.
+func idSeq(id string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// lease claims up to max shards. The fault site lets the chaos suite
+// inject transport failures deterministically.
+func (rt *runtimeWorker) lease(ctx context.Context) ([]Grant, error) {
+	if err := faults.Fire(ctx, faults.SiteClusterLease); err != nil {
+		return nil, err
+	}
+	var resp LeaseResponse
+	status, code, err := rt.post(ctx, "/v1/cluster/lease", LeaseRequest{
+		WorkerID: rt.id, ProtocolVersion: ProtocolVersion, MaxShards: rt.max,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: lease rejected: %s (HTTP %d)", code, status)
+	}
+	return resp.Leases, nil
+}
+
+// runShard evaluates one granted shard with a background heartbeat at
+// a third of the lease TTL. A heartbeat that reports the lease lost
+// cancels the evaluation — the shard was stolen and is another
+// worker's now. A worker shutdown (ctx ends) abandons the shard
+// without uploading; lease expiry re-queues it.
+func (rt *runtimeWorker) runShard(ctx context.Context, g Grant) {
+	evalCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ttl := time.Duration(g.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-evalCtx.Done():
+				return
+			case <-tick.C:
+				if rt.heartbeatLost(evalCtx, g.LeaseID) {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	sr, retries, err := sweep.EvalShard(evalCtx, g.Spec, g.Point)
+	cancel()
+	<-hbDone
+	if ctx.Err() != nil {
+		return // shutting down: the lease expires and the shard is re-queued
+	}
+	if errors.Is(err, context.Canceled) {
+		rt.log.Info("shard abandoned: lease lost", "sweep", g.SweepID, "shard", g.Index)
+		return
+	}
+	mWorkerEvals.Inc()
+	req := CompleteRequest{WorkerID: rt.id, LeaseID: g.LeaseID, Retries: retries}
+	if err != nil {
+		req.Error = err.Error()
+		rt.log.Warn("shard failed permanently", "sweep", g.SweepID, "shard", g.Index, "error", err.Error())
+	} else {
+		req.Result = sr
+	}
+	rt.complete(ctx, g, req)
+}
+
+// heartbeatLost renews one lease; true means the lease is gone.
+func (rt *runtimeWorker) heartbeatLost(ctx context.Context, leaseID string) bool {
+	var resp HeartbeatResponse
+	status, _, err := rt.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{
+		WorkerID: rt.id, LeaseIDs: []string{leaseID},
+	}, &resp)
+	if err != nil || status != http.StatusOK {
+		// A transport blip is not a lost lease; keep computing and let
+		// the next tick (or the completion itself) settle it.
+		return false
+	}
+	for _, id := range resp.Lost {
+		if id == leaseID {
+			return true
+		}
+	}
+	return false
+}
+
+// complete uploads one shard outcome, retrying transport failures with
+// backoff. A lease_not_found rejection drops the result: the lease
+// expired and the shard was stolen, so this copy is redundant — and,
+// by the seed-lattice determinism contract, byte-identical to the one
+// that wins.
+func (rt *runtimeWorker) complete(ctx context.Context, g Grant, req CompleteRequest) {
+	for attempt := 1; ; attempt++ {
+		ferr := faults.Fire(ctx, faults.SiteClusterComplete)
+		if ferr == nil {
+			status, code, err := rt.post(ctx, "/v1/cluster/complete", req, &CompleteResponse{})
+			switch {
+			case err == nil && status == http.StatusOK:
+				return
+			case code == CodeLeaseNotFound:
+				rt.log.Info("completion dropped: lease lost", "sweep", g.SweepID, "shard", g.Index)
+				return
+			}
+		}
+		if ctx.Err() != nil || attempt >= completeAttempts {
+			rt.log.Warn("completion abandoned after retries", "sweep", g.SweepID, "shard", g.Index)
+			return
+		}
+		if rt.poll.Sleep(ctx, rt.seq+uint64(g.Index), attempt) != nil {
+			return
+		}
+	}
+}
+
+// post sends one JSON request and decodes the response into out on
+// 2xx, or the typed error envelope's code otherwise.
+func (rt *runtimeWorker) post(ctx context.Context, path string, in, out any) (status int, errCode string, err error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env errorEnvelope
+		_ = json.Unmarshal(data, &env)
+		return resp.StatusCode, env.Error.Code, nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, "", err
+		}
+	}
+	return resp.StatusCode, "", nil
+}

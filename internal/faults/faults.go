@@ -63,6 +63,12 @@ const (
 	// SiteJobAttempt fires at the start of every job attempt in the
 	// internal/jobs worker pool, including retries.
 	SiteJobAttempt = "jobs.attempt"
+	// SiteClusterLease fires before each lease request a cluster worker
+	// sends to its coordinator ("the network ate my lease call").
+	SiteClusterLease = "cluster.lease"
+	// SiteClusterComplete fires before each result upload a cluster
+	// worker sends to its coordinator ("the upload failed; retry it").
+	SiteClusterComplete = "cluster.complete"
 )
 
 // Rule arms one fault at a hook site.

@@ -155,6 +155,21 @@ func (b Backoff) Delay(jobSeq uint64, attempt int) time.Duration {
 	return time.Duration((0.5 + 0.5*u) * float64(d))
 }
 
+// Sleep blocks for Delay(seq, attempt) or until ctx ends, returning
+// ctx's error in that case. It is the context-aware form of the policy
+// shared by the sweep engine's in-place shard retries and the cluster
+// worker's lease-poll and upload-retry loops.
+func (b Backoff) Sleep(ctx context.Context, seq uint64, attempt int) error {
+	t := time.NewTimer(b.Delay(seq, attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // SubmitOpts tunes one job's execution. The zero value matches plain
 // Submit: no deadline, no retries, Background parent.
 type SubmitOpts struct {

@@ -98,6 +98,11 @@ type Record struct {
 	Mode    string `json:"mode,omitempty"`
 	Refined int    `json:"refined,omitempty"`
 
+	// Workers lists the distinct cluster workers that evaluated shards
+	// of this sweep (sorted); empty for jobs and for sweeps executed on
+	// the local pool.
+	Workers []string `json:"workers,omitempty"`
+
 	// Shards carries per-shard attempt provenance for sweep records.
 	Shards []ShardRecord `json:"shards,omitempty"`
 
@@ -123,7 +128,10 @@ type ShardRecord struct {
 	Cached  bool   `json:"cached,omitempty"`
 	Retries int    `json:"retries,omitempty"`
 	JobID   string `json:"job_id,omitempty"`
-	Error   string `json:"error,omitempty"`
+	// Worker attributes a shard evaluated in cluster mode to the worker
+	// that uploaded its result; empty for locally executed shards.
+	Worker string `json:"worker,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Ledger is the append-only run journal plus its replayed in-memory

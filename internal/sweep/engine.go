@@ -71,7 +71,13 @@ type ShardSnapshot struct {
 	Cached  bool       `json:"cached"`
 	Retries int        `json:"retries,omitempty"` // in-place re-evaluations after transient faults
 	JobID   string     `json:"job_id,omitempty"`
-	Error   string     `json:"error,omitempty"`
+	// Worker attributes a remotely executed shard to the cluster worker
+	// that (last) leased it; empty for locally executed shards.
+	Worker string `json:"worker,omitempty"`
+	// Restored marks a shard completed from a replayed cluster journal
+	// rather than evaluated (or cache-served) in this process.
+	Restored bool   `json:"restored,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a sweep's externally visible
@@ -103,8 +109,26 @@ type Engine struct {
 	traces *telemetry.TraceStore // optional; shard runs record spans when set
 
 	mu     sync.Mutex
+	remote RemoteQueue // optional; non-cached shards go here instead of the pool
 	sweeps map[string]*Sweep
 	order  []string // submission order, for newest-first listing
+}
+
+// SetRemote installs a remote shard queue: every subsequently submitted
+// sweep's non-cached, non-restored shards are offered to q instead of
+// the local worker pool. Install it at boot, before the first Submit —
+// a sweep samples the queue once, when its dispatcher starts.
+func (e *Engine) SetRemote(q RemoteQueue) {
+	e.mu.Lock()
+	e.remote = q
+	e.mu.Unlock()
+}
+
+// remoteQueue returns the installed remote queue, if any.
+func (e *Engine) remoteQueue() RemoteQueue {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.remote
 }
 
 // NewEngine returns an Engine executing on m and caching shard outputs
@@ -140,15 +164,22 @@ type Sweep struct {
 	aborted    bool   // the failure budget tripped and cancelled the rest
 	doneCh     chan struct{}
 	progress   *telemetry.Progress // done = completed shards, total = grid size
+
+	// restored holds pre-completed shard results replayed from a cluster
+	// journal (Engine.Restore); nil on ordinary submissions. Read-only
+	// after construction.
+	restored map[int]RestoredShard
 }
 
 // shardState is one shard's mutable bookkeeping; Sweep.mu guards it.
 type shardState struct {
-	state   ShardState
-	cached  bool
-	retries int
-	jobID   string
-	err     string
+	state    ShardState
+	cached   bool
+	restored bool
+	retries  int
+	jobID    string
+	worker   string
+	err      string
 }
 
 // Submit validates and expands spec, registers the sweep and starts its
@@ -162,12 +193,56 @@ func (e *Engine) Submit(spec Spec) (*Sweep, error) {
 // the sweep, and parent's values — notably a faults.Injector in tests —
 // flow into every shard evaluation.
 func (e *Engine) SubmitCtx(parent context.Context, spec Spec) (*Sweep, error) {
+	return e.submit(parent, spec, newSweepID(), nil)
+}
+
+// SubmitWithID is SubmitCtx with a caller-assigned sweep id. The
+// cluster coordinator journals the (id, spec) intent durably before the
+// engine learns about the sweep, so a crash between the two loses a
+// request, never a half-known sweep. The id must be fresh (see NewID);
+// a duplicate is rejected.
+func (e *Engine) SubmitWithID(parent context.Context, spec Spec, id string) (*Sweep, error) {
+	return e.submit(parent, spec, id, nil)
+}
+
+// RestoredShard is one journal-replayed shard: the authoritative result
+// plus the recorded attribution of the worker that evaluated it, so a
+// coordinator restart preserves provenance as well as data.
+type RestoredShard struct {
+	Result *ShardResult
+	Worker string
+}
+
+// Restore is SubmitWithID for a sweep replayed from a cluster journal:
+// the shards listed in completed (by grid index) finalize immediately
+// with their journaled results — marked Restored with their original
+// worker attribution, and fed to the result cache — and only the
+// remainder is dispatched. A fully completed sweep finalizes without
+// evaluating anything, which is what makes a coordinator restart lose
+// zero shard results.
+func (e *Engine) Restore(parent context.Context, spec Spec, id string, completed map[int]RestoredShard) (*Sweep, error) {
+	return e.submit(parent, spec, id, completed)
+}
+
+// submit is the shared submission path behind SubmitCtx, SubmitWithID
+// and Restore.
+func (e *Engine) submit(parent context.Context, spec Spec, id string, restored map[int]RestoredShard) (*Sweep, error) {
+	if id == "" {
+		return nil, errors.New("sweep: empty sweep id")
+	}
 	ns, err := spec.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	points := ns.Grid()
-	id := newSweepID()
+	for idx, rs := range restored {
+		if idx < 0 || idx >= len(points) {
+			return nil, fmt.Errorf("sweep: restored shard index %d outside grid of %d points", idx, len(points))
+		}
+		if rs.Result == nil {
+			return nil, fmt.Errorf("sweep: restored shard %d has no result", idx)
+		}
+	}
 	ctx, cancel := context.WithCancel(parent)
 	// One trace per sweep, keyed by the sweep id: the root span rides the
 	// sweep context into every shard job, so shard spans nest under it
@@ -193,12 +268,19 @@ func (e *Engine) SubmitCtx(parent context.Context, spec Spec) (*Sweep, error) {
 		remaining: len(points),
 		doneCh:    make(chan struct{}),
 		progress:  telemetry.NewProgress(),
+		restored:  restored,
 	}
 	for i := range sw.shards {
 		sw.shards[i].state = ShardPending
 	}
 	sw.progress.AddTotal(int64(len(points)))
 	e.mu.Lock()
+	if _, dup := e.sweeps[sw.ID]; dup {
+		e.mu.Unlock()
+		sw.trace.Finish() // nil-safe; releases the ring slot claimed above
+		cancel()
+		return nil, fmt.Errorf("sweep: id %q already in use", sw.ID)
+	}
 	e.sweeps[sw.ID] = sw
 	e.order = append(e.order, sw.ID)
 	e.mu.Unlock()
@@ -232,10 +314,15 @@ func (e *Engine) List() []Snapshot {
 }
 
 // dispatch is the sweep's feeder goroutine: it walks the grid in index
-// order, serving shards from the cache where possible and submitting
-// the rest to the worker pool, retrying with backoff while the
-// pool's queue is full.
+// order, finalizing journal-restored shards first, then serving shards
+// from the cache where possible and handing the rest to the remote
+// queue (cluster mode) or the local worker pool, retrying with backoff
+// while the pool's queue is full.
 func (sw *Sweep) dispatch() {
+	remote := sw.eng.remoteQueue()
+	if remote != nil {
+		go sw.watchRemote()
+	}
 	for idx := range sw.points {
 		if sw.ctx.Err() != nil {
 			sw.finishShard(idx, ShardCancelled, nil, context.Canceled)
@@ -251,6 +338,19 @@ func (sw *Sweep) dispatch() {
 			}
 		}
 		key := keyOf(sw.spec, pt)
+		if rs, ok := sw.restored[idx]; ok {
+			// A journal-replayed shard: its result is authoritative — the
+			// journal was written before the original completion was
+			// acknowledged — so finalize without re-evaluating, and feed
+			// the cache so identical future sweeps hit it.
+			sw.mu.Lock()
+			sw.shards[idx].restored = true
+			sw.shards[idx].worker = rs.Worker
+			sw.mu.Unlock()
+			sw.eng.cache.Put(key, rs.Result)
+			sw.finishShard(idx, ShardDone, rs.Result, nil)
+			continue
+		}
 		if cached, ok := sw.eng.cache.Get(key); ok {
 			if sr, ok := cached.(*ShardResult); ok {
 				sw.mu.Lock()
@@ -261,6 +361,10 @@ func (sw *Sweep) dispatch() {
 				continue
 			}
 			// A foreign value under our key: fall through and recompute.
+		}
+		if remote != nil {
+			sw.offerRemote(idx, key, remote)
+			continue
 		}
 		sw.submitShard(idx, key)
 	}
@@ -368,12 +472,8 @@ func (sw *Sweep) runShard(ctx context.Context, idx int, pt Point) (*ShardResult,
 			return sr, err
 		}
 		sw.noteRetry(idx)
-		t := time.NewTimer(shardBackoff.Delay(sw.spec.Seed+uint64(idx), attempt))
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
+		if serr := shardBackoff.Sleep(ctx, sw.spec.Seed+uint64(idx), attempt); serr != nil {
+			return nil, serr
 		}
 	}
 }
@@ -587,8 +687,8 @@ func (sw *Sweep) Snapshot() Snapshot {
 	for i := range sw.shards {
 		s := &sw.shards[i]
 		snap.Shards[i] = ShardSnapshot{
-			Index: i, State: s.state, Cached: s.cached, Retries: s.retries,
-			JobID: s.jobID, Error: s.err,
+			Index: i, State: s.state, Cached: s.cached, Restored: s.restored,
+			Retries: s.retries, JobID: s.jobID, Worker: s.worker, Error: s.err,
 		}
 		switch s.state {
 		case ShardDone:

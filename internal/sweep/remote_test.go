@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// evalQueue is a minimal in-process RemoteQueue: every offered shard is
+// evaluated in its own goroutine through the worker-side entry point,
+// exactly the life a cluster worker gives it.
+type evalQueue struct {
+	offers atomic.Int64
+	worker string
+}
+
+func (q *evalQueue) Offer(t *RemoteShard) {
+	q.offers.Add(1)
+	go func() {
+		t.Start(q.worker)
+		sr, retries, err := EvalShard(t.Ctx, t.Spec, t.Point)
+		t.NoteRetries(retries)
+		t.Finish(sr, err)
+	}()
+}
+
+// blackholeQueue accepts shards and never reports back — a cluster
+// whose workers all died.
+type blackholeQueue struct{}
+
+func (blackholeQueue) Offer(*RemoteShard) {}
+
+// TestRemoteQueueMatchesSerial pins the remote dispatch contract: with
+// a RemoteQueue installed, every non-cached shard goes through it (none
+// run on the local pool), worker attribution lands in the snapshot, and
+// the merged result is byte-identical to the serial run. A resubmission
+// is then served from the cache without touching the queue.
+func TestRemoteQueueMatchesSerial(t *testing.T) {
+	serial, err := RunSerial(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, serial)
+
+	eng := newTestEngine(t, 1, 16)
+	q := &evalQueue{worker: "fake-worker"}
+	eng.SetRemote(q)
+	sw, err := eng.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 60*time.Second)
+	if snap.State != Done {
+		t.Fatalf("remote sweep ended %s (%s), want done", snap.State, snap.Error)
+	}
+	if got := q.offers.Load(); got != 6 {
+		t.Fatalf("queue saw %d offers, want all 6 shards", got)
+	}
+	for _, sh := range snap.Shards {
+		if sh.Worker != "fake-worker" {
+			t.Fatalf("shard %d attributed to %q, want fake-worker", sh.Index, sh.Worker)
+		}
+		if sh.JobID != "" {
+			t.Fatalf("shard %d ran on the local pool (job %s) despite the remote queue", sh.Index, sh.JobID)
+		}
+	}
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("remote-queue sweep is not byte-identical to the serial run")
+	}
+
+	// Cached shards never reach the queue.
+	sw2, err := eng.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := waitDone(t, sw2, 60*time.Second)
+	if snap2.State != Done || snap2.Cached != snap2.Total {
+		t.Fatalf("resubmission: state=%s cached=%d/%d, want fully cached", snap2.State, snap2.Cached, snap2.Total)
+	}
+	if got := q.offers.Load(); got != 6 {
+		t.Fatalf("cached resubmission leaked %d offers to the queue", got-6)
+	}
+}
+
+// TestRemoteQueueCancel pins the liveness half: shards handed to a
+// remote queue have no local goroutine, so cancelling the sweep must
+// still reach a terminal state via the remote watcher rather than
+// waiting forever on workers that will never report.
+func TestRemoteQueueCancel(t *testing.T) {
+	eng := newTestEngine(t, 1, 16)
+	eng.SetRemote(blackholeQueue{})
+	sw, err := eng.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Cancel() {
+		t.Fatal("cancel refused")
+	}
+	snap := waitDone(t, sw, 30*time.Second)
+	if snap.State != Cancelled {
+		t.Fatalf("black-holed sweep ended %s, want cancelled", snap.State)
+	}
+	if snap.Completed != 0 {
+		t.Fatalf("%d shards completed on a black-hole queue", snap.Completed)
+	}
+}
+
+// TestRemoteFinishExactlyOnce pins the steal-race contract: a second
+// Finish on an already-terminal shard — the original worker of a stolen
+// lease reporting in late — is a no-op.
+func TestRemoteFinishExactlyOnce(t *testing.T) {
+	eng := newTestEngine(t, 1, 16)
+	offered := make(chan *RemoteShard, 16)
+	eng.SetRemote(queueFunc(func(t *RemoteShard) { offered <- t }))
+	sw, err := eng.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*RemoteShard, 0, 6)
+	for len(shards) < 6 {
+		select {
+		case sh := <-offered:
+			shards = append(shards, sh)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d shards offered after 10s", len(shards))
+		}
+	}
+	for _, sh := range shards {
+		sr, retries, err := EvalShard(sh.Ctx, sh.Spec, sh.Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.NoteRetries(retries)
+		sh.Finish(sr, nil)
+		// The late duplicate: a stale worker failing the same shard must
+		// not flip it out of Done.
+		sh.Finish(nil, context.DeadlineExceeded)
+	}
+	snap := waitDone(t, sw, 60*time.Second)
+	if snap.State != Done || snap.Failed != 0 {
+		t.Fatalf("duplicate Finish corrupted the sweep: state=%s failed=%d", snap.State, snap.Failed)
+	}
+}
+
+// queueFunc adapts a function to RemoteQueue.
+type queueFunc func(*RemoteShard)
+
+func (f queueFunc) Offer(t *RemoteShard) { f(t) }

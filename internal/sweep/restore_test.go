@@ -1,0 +1,96 @@
+package sweep
+
+// In-package coverage of the cluster-facing submission surface: NewID,
+// SubmitWithID and Restore. The cluster package exercises these end to
+// end over HTTP; here they are pinned at the engine boundary so the
+// contract (fresh ids, duplicate rejection, journal-restored shards
+// finalizing without evaluation) holds independent of any coordinator.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNewIDFresh(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == "" || b == "" || a == b {
+		t.Fatalf("NewID not fresh: %q vs %q", a, b)
+	}
+}
+
+func TestSubmitWithIDDuplicateRejected(t *testing.T) {
+	eng := newTestEngine(t, 2, 16)
+	id := NewID()
+	sw, err := eng.SubmitWithID(context.Background(), tinySpec(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.ID != id {
+		t.Fatalf("sweep took id %q, want the caller-assigned %q", sw.ID, id)
+	}
+	if _, err := eng.SubmitWithID(context.Background(), tinySpec(), id); err == nil {
+		t.Fatal("duplicate sweep id accepted")
+	}
+	if _, err := eng.SubmitWithID(context.Background(), tinySpec(), ""); err == nil {
+		t.Fatal("empty sweep id accepted")
+	}
+	waitDone(t, sw, 60*time.Second)
+}
+
+// TestRestoreFinalizesWithoutEvaluation: a fully journaled sweep
+// restores every shard with its recorded worker attribution, evaluates
+// nothing, and renders byte-identical to the original run.
+func TestRestoreFinalizesWithoutEvaluation(t *testing.T) {
+	ref, err := RunSerial(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := newTestEngine(t, 2, 16)
+	orig, err := eng.SubmitCtx(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := waitDone(t, orig, 60*time.Second); snap.State != Done {
+		t.Fatalf("seed sweep ended %s, want done", snap.State)
+	}
+	completed := make(map[int]RestoredShard, len(orig.results))
+	for i, sr := range orig.results {
+		completed[i] = RestoredShard{Result: sr, Worker: "wx"}
+	}
+
+	// Restore rejects malformed journals before touching the engine.
+	if _, err := eng.Restore(context.Background(), tinySpec(), NewID(),
+		map[int]RestoredShard{99: {Result: orig.results[0]}}); err == nil {
+		t.Fatal("out-of-grid restored index accepted")
+	}
+	if _, err := eng.Restore(context.Background(), tinySpec(), NewID(),
+		map[int]RestoredShard{0: {}}); err == nil {
+		t.Fatal("restored shard without a result accepted")
+	}
+
+	sw, err := eng.Restore(context.Background(), tinySpec(), NewID(), completed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, 60*time.Second)
+	if snap.State != Done {
+		t.Fatalf("restored sweep ended %s (%s), want done", snap.State, snap.Error)
+	}
+	for _, sh := range snap.Shards {
+		if !sh.Restored {
+			t.Fatalf("shard %d not marked restored", sh.Index)
+		}
+		if sh.Worker != "wx" {
+			t.Fatalf("shard %d attributed to %q, want the journaled wx", sh.Index, sh.Worker)
+		}
+	}
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("restored sweep has no result")
+	}
+	if got.Render() != ref.Render() {
+		t.Fatal("fully restored sweep is not byte-identical to the serial run")
+	}
+}
