@@ -15,8 +15,8 @@
 //
 //	ntvsimbench [flags]
 //
-//	-bench regexp    benchmarks to run (default Kernel|NewSub|Reset: the
-//	                 sampling-kernel microbenchmarks)
+//	-bench regexp    benchmarks to run (default Kernel|NewSub|Reset|SRAM:
+//	                 the sampling-kernel and SRAM-yield microbenchmarks)
 //	-artifacts       also run the per-artifact suite in the repo root
 //	                 (Benchmark(Fig|Table|...)): slower, adds reproduced
 //	                 paper metrics to the snapshot
@@ -43,10 +43,10 @@ import (
 
 // kernelPackages hosts the sampling-kernel microbenchmarks; the
 // artifact suite lives in the repository root package.
-var kernelPackages = []string{"./internal/montecarlo/", "./internal/rng/", "./internal/importance/", "./internal/sweep/"}
+var kernelPackages = []string{"./internal/montecarlo/", "./internal/rng/", "./internal/importance/", "./internal/sweep/", "./internal/sram/"}
 
 func main() {
-	bench := flag.String("bench", "Kernel|NewSub|Reset", "benchmark regexp passed to go test -bench for the kernel packages")
+	bench := flag.String("bench", "Kernel|NewSub|Reset|SRAM", "benchmark regexp passed to go test -bench for the kernel packages")
 	artifacts := flag.Bool("artifacts", false, "also run the per-artifact benchmarks in the repo root")
 	artifactBench := flag.String("artifactbench", ".", "benchmark regexp for the artifact suite (with -artifacts)")
 	count := flag.Int("count", 1, "go test -count")

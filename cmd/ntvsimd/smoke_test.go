@@ -319,14 +319,17 @@ func TestHTTPSmokeRestart(t *testing.T) {
 // 20-shard sweep while one worker is SIGKILLed mid-run and then the
 // coordinator itself is SIGKILLed and rebooted from its shard journal.
 // The merged result must be byte-identical to sweep.RunSerial of the
-// same spec. Gated behind NTVSIMD_SMOKE=1 like the other smoke tests.
+// same spec. The metric is sramreadyield so the smoke also exercises
+// the SRAM chip sampler's table build + binomial draws end-to-end
+// through real worker processes. Gated behind NTVSIMD_SMOKE=1 like the
+// other smoke tests.
 func TestHTTPSmokeCluster(t *testing.T) {
 	if os.Getenv("NTVSIMD_SMOKE") != "1" {
 		t.Skip("set NTVSIMD_SMOKE=1 to run the binary smoke test")
 	}
 
 	spec := sweep.Spec{
-		Metric:  "chain3sigma",
+		Metric:  "sramreadyield",
 		Nodes:   []string{"90nm GP", "22nm PTM HP"},
 		Vdd:     &sweep.VddAxis{From: 0.50, To: 0.70, Step: 0.05},
 		Samples: []int{3000, 5000},

@@ -20,9 +20,10 @@ import (
 // it makes any behavioural drift in the sampling kernel fail loudly.
 
 // goldenIDs is the spot-check subset: one circuit-level figure (fig2),
-// one search-heavy table (table1) and one architecture-level extension
-// (yield), covering Sample, SampleVec and Moments paths.
-var goldenIDs = []string{"fig2", "table1", "yield"}
+// one search-heavy table (table1), one architecture-level extension
+// (yield) and the SRAM memory-map crossover (sramyield), covering the
+// Sample, SampleVec, Moments and chip-sampler paths.
+var goldenIDs = []string{"fig2", "table1", "yield", "sramyield"}
 
 // goldenConfig is reduced-depth so the double regeneration stays in
 // tier-1 time budgets; determinism does not depend on the depth.

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/sweep"
+)
+
+// sramSpec mirrors tinySpec on the SRAM kernel axis: 2 nodes × 3
+// voltages of sramreadyield, the memory-side metric whose sampler
+// tables make shards meaningfully heavier than the logic kernels.
+func sramSpec() sweep.Spec {
+	return sweep.Spec{
+		Metric:  "sramreadyield",
+		Nodes:   []string{"45nm GP", "32nm PTM HP"},
+		Vdd:     &sweep.VddAxis{From: 0.50, To: 0.60, Step: 0.05},
+		Samples: []int{200},
+		Seed:    4242,
+	}
+}
+
+// TestClusterSRAMSweepByteIdentical runs an sramreadyield sweep across
+// two real HTTP workers and requires the merged result to be
+// byte-identical to sweep.RunSerial — the cluster extension of the
+// engine-level SRAM determinism contract.
+func TestClusterSRAMSweepByteIdentical(t *testing.T) {
+	serial, err := sweep.RunSerial(context.Background(), sramSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, serial)
+
+	c := newCoordinator(t, t.TempDir(), 2*time.Second)
+	eng := newEngine(t)
+	eng.SetRemote(c)
+	sw, err := c.Submit(context.Background(), eng, sramSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve(t, c)
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	for _, id := range []string{"w1", "w2"} {
+		w := &Worker{Coordinator: srv.URL, ID: id, MaxShards: 2, Poll: fastPoll}
+		go w.Run(wctx)
+	}
+
+	snap := waitDone(t, sw, 120*time.Second)
+	if snap.State != sweep.Done {
+		t.Fatalf("cluster sweep ended %s (%s), want done", snap.State, snap.Error)
+	}
+	workers := map[string]bool{}
+	for _, sh := range snap.Shards {
+		workers[sh.Worker] = true
+	}
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("2-worker SRAM sweep is not byte-identical to sweep.RunSerial")
+	}
+	t.Logf("shards served by %d distinct workers", len(workers))
+}

@@ -3,8 +3,11 @@ package experiments
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"testing"
+
+	"github.com/ntvsim/ntvsim/internal/tech"
 )
 
 // runQuick executes an experiment with the reduced regression config.
@@ -27,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation", "app", "corners", "fig1", "fig11", "fig12", "fig2",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "itd",
-		"ks", "synctium", "table1", "table2", "table3", "table4",
+		"ks", "sramyield", "synctium", "table1", "table2", "table3", "table4",
 		"tailyield", "yield",
 	}
 	got := IDs()
@@ -589,11 +592,67 @@ func TestYieldShape(t *testing.T) {
 	}
 }
 
+// TestSRAMYieldShape: the memory extension's two findings — write yield
+// collapses before read yield everywhere, and at iso-overhead the
+// lanes-only repair split cannot match spending on spare rows at the
+// memory-limited stress point.
+func TestSRAMYieldShape(t *testing.T) {
+	res := runQuick(t, "sramyield").(*SRAMYieldResult)
+	if want := len(tech.Nodes()) * len(sramVdds); len(res.Rows) != want {
+		t.Fatalf("crossover rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		for name, y := range map[string]float64{
+			"read": row.ReadMC, "write": row.WriteMC,
+			"analytic": row.ReadAnalytic, "logic": row.LogicMC,
+		} {
+			if y < 0 || y > 100 {
+				t.Errorf("%s @%gV: %s yield %v%% out of range", row.Node, row.Vdd, name, y)
+			}
+		}
+		// The write-contention tail is strictly fatter than the series
+		// read path; 1 pp of slack absorbs MC noise at the Quick budget.
+		if row.WriteMC > row.ReadMC+1 {
+			t.Errorf("%s @%gV: write yield %v%% above read %v%%",
+				row.Node, row.Vdd, row.WriteMC, row.ReadMC)
+		}
+		// Analytic and MC share one estimand; 4 pp covers the 99% CI of
+		// a 1200-chip binomial estimate with margin.
+		if diff := math.Abs(row.ReadAnalytic - row.ReadMC); diff > 4 {
+			t.Errorf("%s @%gV: analytic read %v%% vs MC %v%% (Δ %.2f pp)",
+				row.Node, row.Vdd, row.ReadAnalytic, row.ReadMC, diff)
+		}
+		if got := row.ReadMC - row.LogicMC; math.Abs(got-row.DeltaPP) > 1e-12 {
+			t.Errorf("%s @%gV: DeltaPP %v, want read−logic %v", row.Node, row.Vdd, row.DeltaPP, got)
+		}
+	}
+	if len(res.Splits) != 3 {
+		t.Fatalf("spare splits = %d, want 3", len(res.Splits))
+	}
+	base := res.Splits[0].OverheadPct
+	var rowsOnly, lanesOnly float64
+	for _, s := range res.Splits {
+		if math.Abs(s.OverheadPct-base) > 0.05 {
+			t.Errorf("%s: overhead %v%% not iso with %v%%", s.Policy, s.OverheadPct, base)
+		}
+		switch s.Policy {
+		case "rows only":
+			rowsOnly = s.Combined
+		case "lanes only":
+			lanesOnly = s.Combined
+		}
+	}
+	if lanesOnly >= rowsOnly {
+		t.Errorf("lanes-only combined %v%% should trail rows-only %v%% at the memory-limited stress point",
+			lanesOnly, rowsOnly)
+	}
+}
+
 // TestCSVExports checks header/row consistency for every CSVer result.
 // It uses a minimal sample budget: only the CSV structure is under test.
 func TestCSVExports(t *testing.T) {
 	tiny := Config{Seed: 1, CircuitSamples: 50, ChipSamples: 100, SearchSamples: 100}
-	for _, id := range []string{"fig2", "fig4", "fig9", "fig11", "table1", "table2", "table4"} {
+	for _, id := range []string{"fig2", "fig4", "fig9", "fig11", "sramyield", "table1", "table2", "table4"} {
 		res, err := Run(id, tiny)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

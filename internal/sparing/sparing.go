@@ -2,6 +2,11 @@
 // number of spare SIMD functional units needed to tolerate
 // variation-induced timing errors at near-threshold voltage, and the
 // comparison between global and local spare placement (Appendix D).
+//
+// Lane sparing is the logic-side repair axis; internal/sram mirrors
+// the same placement/coverage model on the memory side as spare-row
+// repair (sram.RowPlacement, sram.RowCoverage), and the sramyield
+// experiment compares the two at iso-overhead.
 package sparing
 
 import (

@@ -1,0 +1,134 @@
+package sram
+
+import (
+	"math"
+
+	"github.com/ntvsim/ntvsim/internal/stats"
+)
+
+// The conditional failure probability exploits the delay monotonicity
+// in each transistor's threshold shift: for a fixed shift of one device
+// there is a single critical shift of the other at which the access
+// delay crosses the budget, found by bisection, and the failure mass
+// beyond it is a Gaussian tail. Integrating that tail over the first
+// device's WID law (Gauss–Simpson over ±8σ) gives the exact-to-
+// quadrature cell failure probability — no sampling.
+
+// quadIntervals is the Simpson interval count for the WID integral;
+// dieIntervals for the outer die-to-die integral (matching the moment
+// quadrature in internal/device).
+const (
+	quadIntervals = 64
+	dieIntervals  = 160
+	bisectIters   = 52
+)
+
+// gaussExpect approximates E[f(X)] for X ~ N(0, sigma) by composite
+// Simpson quadrature over ±8σ. sigma == 0 degenerates to f(0).
+func gaussExpect(f func(float64) float64, sigma float64, intervals int) float64 {
+	if sigma == 0 {
+		return f(0)
+	}
+	law := stats.Normal{Mu: 0, Sigma: sigma}
+	lo := -8 * sigma
+	h := 16 * sigma / float64(intervals)
+	var sum float64
+	for i := 0; i <= intervals; i++ {
+		x := lo + float64(i)*h
+		w := 2.0
+		switch {
+		case i == 0 || i == intervals:
+			w = 1
+		case i%2 == 1:
+			w = 4
+		}
+		sum += w * f(x) * law.PDF(x)
+	}
+	return sum * h / 3
+}
+
+// bisectCrossing returns the shift at which the increasing delay(x)
+// crosses budget, given delay(lo) ≤ budget < delay(hi). A fixed
+// iteration count keeps the evaluation branch-free and bit-reproducible
+// across platforms.
+func bisectCrossing(delay func(float64) float64, budget, lo, hi float64) float64 {
+	for i := 0; i < bisectIters; i++ {
+		mid := 0.5 * (lo + hi)
+		if delay(mid) > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// FailProb returns the probability that a single cell misses the timing
+// budget (seconds) for the given access at supply vdd, conditional on
+// the die-to-die threshold shift die (volts). The two cell transistors
+// on the access path carry independent WID shifts on top of die.
+func (c Cell) FailProb(op Op, vdd, budget, die float64) float64 {
+	mQuadratures.Inc()
+	if math.IsInf(budget, 1) {
+		return 0
+	}
+	sigma := c.SigmaWID
+	if sigma == 0 {
+		if c.Delay(op, vdd, die, die) > budget {
+			return 1
+		}
+		return 0
+	}
+	// The bracket must contain the budget crossing wherever the WID law
+	// has mass; beyond it the tail contribution is below quadrature
+	// precision and is closed with the bracket-edge tail.
+	bracket := 2 + 8*sigma + math.Abs(die)
+	wid := stats.Normal{Mu: 0, Sigma: sigma}
+
+	// tail(first) is P(fail | first device's WID shift): the Gaussian
+	// mass of the second device beyond its critical shift. For a read
+	// the outer variable is the access shift and the bisected one the
+	// pull-down; for a write the outer is the pull-up and the bisected
+	// one the access (WriteDelay decreases in the pull-up shift but
+	// increases in the access shift, so the access is the monotone
+	// bisection axis).
+	tail := func(first float64) float64 {
+		delay := func(x float64) float64 {
+			if op == OpWrite {
+				return c.WriteDelay(vdd, die+x, die+first)
+			}
+			return c.ReadDelay(vdd, die+first, die+x)
+		}
+		lo, hi := -bracket, bracket
+		if delay(lo) > budget {
+			return 1 // even the strongest second device misses the budget
+		}
+		if delay(hi) <= budget {
+			return 1 - wid.CDF(hi) // no crossing in-bracket: ~0 tail
+		}
+		return 1 - wid.CDF(bisectCrossing(delay, budget, lo, hi))
+	}
+
+	p := gaussExpect(tail, sigma, quadIntervals)
+	return clamp01(p)
+}
+
+// MarginalFailProb integrates FailProb over the die-to-die law: the
+// unconditional probability that a random cell on a random die misses
+// the budget.
+func (c Cell) MarginalFailProb(op Op, vdd, budget float64) float64 {
+	p := gaussExpect(func(die float64) float64 {
+		return c.FailProb(op, vdd, budget, die)
+	}, c.SigmaD2D, quadIntervals)
+	return clamp01(p)
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}

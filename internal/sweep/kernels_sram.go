@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"context"
+
+	"github.com/ntvsim/ntvsim/internal/experiments"
+	"github.com/ntvsim/ntvsim/internal/importance"
+	"github.com/ntvsim/ntvsim/internal/montecarlo"
+	"github.com/ntvsim/ntvsim/internal/rng"
+	"github.com/ntvsim/ntvsim/internal/simd"
+	"github.com/ntvsim/ntvsim/internal/sram"
+	"github.com/ntvsim/ntvsim/internal/stats"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+// The SRAM kernels answer the memory-side question the logic kernels
+// never could: what fraction of chips have working on-chip memories at
+// this (node, Vdd) point. Both estimator modes share one estimand —
+// the Monte-Carlo path draws whole chips through sram.ChipSampler, the
+// SSTA path integrates the same conditional failure law analytically —
+// so mode: auto and the CI property tests compare like with like.
+
+// sramYieldEval is the shared MC estimator: the percentage of sampled
+// chips whose memory map is fully repairable for the given access.
+func sramYieldEval(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, op sram.Op) (float64, error) {
+	smp := sram.New(node).NewSampler(op, vdd)
+	xs, err := montecarlo.SampleCtx(ctx, seed, samples, smp.Sample)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * stats.Mean(xs), nil
+}
+
+// logicBudget returns the logic-path pass/fail delay threshold in
+// seconds: the shared budget rule of the memory-vs-logic comparison.
+func logicBudget(dp *simd.Datapath, vdd float64) float64 {
+	return sram.LogicMarginFO4 * float64(tech.ChainLength) * dp.FO4(vdd)
+}
+
+func init() {
+	registerKernel(Kernel{
+		ID:   "sramreadyield",
+		Kind: experiments.Architecture, Unit: "%", DefaultSamples: 10000,
+		Description: "chips whose SODA memory map survives the read-timing budget after spare-row repair, in %",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
+			v, err := sramYieldEval(ctx, node, vdd, samples, seed, sram.OpRead)
+			return v, nil, err
+		},
+		SSTA: func(node tech.Node, vdd float64, _ Options) (float64, error) {
+			return 100 * sram.New(node).Yield(sram.OpRead, vdd), nil
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "sramwriteyield",
+		Kind: experiments.Architecture, Unit: "%", DefaultSamples: 10000,
+		Description: "chips whose SODA memory map survives the write-contention budget after spare-row repair, in %",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
+			v, err := sramYieldEval(ctx, node, vdd, samples, seed, sram.OpWrite)
+			return v, nil, err
+		},
+		SSTA: func(node tech.Node, vdd float64, _ Options) (float64, error) {
+			return 100 * sram.New(node).Yield(sram.OpWrite, vdd), nil
+		},
+	})
+	registerKernel(Kernel{
+		ID:   "memlogicyield",
+		Kind: experiments.Architecture, Unit: "pp", DefaultSamples: 10000,
+		Description: "memory read yield minus logic-path yield at the shared margin rule, in percentage points (negative: memory limits the chip)",
+		Eval: func(ctx context.Context, node tech.Node, vdd float64, samples int, seed uint64, _ Options) (float64, *importance.Diagnostics, error) {
+			dp := simd.New(node)
+			fn, err := dp.ChipQuantileFn(vdd)
+			if err != nil {
+				return 0, nil, err
+			}
+			budget := logicBudget(dp, vdd)
+			smp := sram.New(node).NewSampler(sram.OpRead, vdd)
+			xs, err := montecarlo.SampleCtx(ctx, seed, samples, func(r *rng.Stream) float64 {
+				mem := smp.Sample(r)
+				logic := 0.0
+				if fn(r.Float64()) <= budget {
+					logic = 1
+				}
+				return mem - logic
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			return 100 * stats.Mean(xs), nil, nil
+		},
+		SSTA: func(node tech.Node, vdd float64, _ Options) (float64, error) {
+			memYield := sram.New(node).Yield(sram.OpRead, vdd)
+			logicYield := 1 - chipLaw(node, vdd).ChipTail(logicBudget(simd.New(node), vdd))
+			return 100 * (memYield - logicYield), nil
+		},
+	})
+}

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ntvsim/ntvsim/internal/faults"
+	"github.com/ntvsim/ntvsim/internal/tech"
+)
+
+// sramSpec is a 2 nodes × 3 voltages sramreadyield sweep, sized like
+// tinySpec so the sharded-vs-serial and fault suites stay fast.
+func sramSpec() Spec {
+	return Spec{
+		Metric:  "sramreadyield",
+		Nodes:   []string{"45nm GP", "32nm PTM HP"},
+		Vdd:     &VddAxis{From: 0.50, To: 0.60, Step: 0.05},
+		Samples: []int{200},
+		Seed:    4242,
+	}
+}
+
+// TestSRAMKernelMetadata pins the registry surface the HTTP layer
+// serves on GET /v1/kernels: all three SRAM kernels exist, carry an
+// analytic law (mode: mc|ssta|auto), and document their units.
+func TestSRAMKernelMetadata(t *testing.T) {
+	for id, unit := range map[string]string{
+		"sramreadyield":  "%",
+		"sramwriteyield": "%",
+		"memlogicyield":  "pp",
+	} {
+		k, ok := kernels[id]
+		if !ok {
+			t.Fatalf("kernel %q not registered", id)
+		}
+		if k.Unit != unit {
+			t.Errorf("%s unit %q, want %q", id, k.Unit, unit)
+		}
+		if k.DefaultSamples != 10000 {
+			t.Errorf("%s default samples %d, want 10000", id, k.DefaultSamples)
+		}
+		modes := strings.Join(k.Modes(), ",")
+		if modes != "mc,ssta,auto" {
+			t.Errorf("%s modes %q, want mc,ssta,auto", id, modes)
+		}
+	}
+}
+
+// TestSRAMShardedMatchesSerial extends the core determinism contract to
+// the SRAM kernels: the multi-worker sharded sweep merges to bytes
+// identical to the single-goroutine serial run.
+func TestSRAMShardedMatchesSerial(t *testing.T) {
+	serial, err := RunSerial(context.Background(), sramSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, serial)
+
+	eng := newTestEngine(t, 4, 16)
+	sw, err := eng.Submit(sramSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitDone(t, sw, time.Minute)
+	if snap.State != Done {
+		t.Fatalf("sweep finished %s: %+v", snap.State, snap.Shards)
+	}
+	merged, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, merged) != want {
+		t.Error("sharded sramreadyield sweep is not byte-identical to serial")
+	}
+	for _, p := range merged.Points {
+		if p.Value < 0 || p.Value > 100 {
+			t.Errorf("point %d yield %v outside [0, 100]", p.Index, p.Value)
+		}
+	}
+}
+
+// TestSRAMShardFaultRetryByteIdentical puts the SRAM sampler under the
+// chaos harness: shards killed by injected transient errors retry and
+// still merge byte-identically to the fault-free serial run.
+func TestSRAMShardFaultRetryByteIdentical(t *testing.T) {
+	clean, err := RunSerial(context.Background(), sramSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, clean)
+
+	const k = 2
+	eng := newTestEngine(t, 2, 16)
+	in := faults.New(faultSeed(t), faults.Rule{
+		Site: faults.SiteSweepShard, Kind: faults.KindError, After: 1, Times: k,
+	})
+	snap := runFaulty(t, eng, sramSpec(), in)
+	if snap.Retried < k {
+		t.Fatalf("snapshot reports %d retries, want >= %d", snap.Retried, k)
+	}
+	sw, _ := eng.Get(snap.ID)
+	got, ok := sw.Result()
+	if !ok {
+		t.Fatal("done sweep has no result")
+	}
+	if renderAll(t, got) != want {
+		t.Fatal("retried SRAM sweep is not byte-identical to the fault-free serial run")
+	}
+}
+
+// TestSRAMSSTAWithinMCTolerance pins the two estimator modes to one
+// estimand across the full default grid: mode: ssta answers every
+// (kernel, node, Vdd) point within a deterministic-seed tolerance of
+// mode: mc. The read/write bound is the MC 99% CI at 2000 chips; the
+// memlogicyield bound adds headroom for the analytic logic law's
+// max-of-Gaussians approximation.
+func TestSRAMSSTAWithinMCTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("36-point dual-mode grid in -short mode")
+	}
+	tols := map[string]float64{
+		"sramreadyield":  1.5,
+		"sramwriteyield": 1.5,
+		"memlogicyield":  2.5,
+	}
+	for id, tol := range tols {
+		for _, node := range tech.Nodes() {
+			for _, vdd := range []float64{0.50, 0.55, 0.60} {
+				spec := Spec{
+					Metric: id, Nodes: []string{node.Name},
+					Vdd:     &VddAxis{From: vdd, To: vdd, Step: 0.05},
+					Samples: []int{2000}, Seed: 4242,
+				}
+				mc, err := RunSerial(context.Background(), spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.Mode = ModeSSTA
+				an, err := RunSerial(context.Background(), spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, want := an.Points[0].Value, mc.Points[0].Value
+				if diff := got - want; diff > tol || diff < -tol {
+					t.Errorf("%s %s %.2f V: ssta %.4f vs mc %.4f (tol %.1f)",
+						id, node.Name, vdd, got, want, tol)
+				}
+			}
+		}
+	}
+}
